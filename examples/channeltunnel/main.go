@@ -1,0 +1,97 @@
+// Channel Tunnel: the paper's §3 worked example. "The management of a
+// large scale engineering project (e.g. building the Channel Tunnel) can be
+// undertaken as a cooperative activity" with inter-related sub-activities
+// (progress meetings, joint report production, monitoring, ad-hoc
+// communication) sharing people, resources, and information.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mocca"
+	"mocca/internal/activity"
+	"mocca/internal/expertise"
+	"mocca/internal/org"
+)
+
+func main() {
+	dep := mocca.NewDeployment(mocca.WithSeed(1992))
+	env := dep.Env()
+
+	// --- Organisational model: two enterprises, one project -------------
+	kb := env.Org()
+	must(kb.AddObject(org.Object{ID: "tml", Kind: org.KindOrg, Name: "TransManche Link"}))
+	must(kb.AddObject(org.Object{ID: "eurotunnel", Kind: org.KindOrg, Name: "Eurotunnel"}))
+	must(kb.AddObject(org.Object{ID: "ada", Kind: org.KindPerson, Name: "Ada", Org: "tml"}))
+	must(kb.AddObject(org.Object{ID: "ben", Kind: org.KindPerson, Name: "Ben", Org: "tml"}))
+	must(kb.AddObject(org.Object{ID: "carol", Kind: org.KindPerson, Name: "Carol", Org: "eurotunnel"}))
+	must(kb.AddObject(org.Object{ID: "chief-engineer", Kind: org.KindRole, Name: "Chief Engineer", Org: "tml"}))
+	must(kb.AddObject(org.Object{ID: "tbm-1", Kind: org.KindResource, Name: "Boring Machine", Org: "tml"}))
+	must(kb.Relate("ada", org.RelFills, "chief-engineer"))
+	kb.SetPolicy("tml", "data-sharing", "open")
+	kb.SetPolicy("eurotunnel", "data-sharing", "open")
+	must(env.SyncOrgToDirectory())
+
+	// --- Expertise model -------------------------------------------------
+	env.Expertise().SetCapability("ada", "tunnel-engineering", expertise.LevelExpert)
+	env.Expertise().SetCapability("ben", "geology", expertise.LevelProficient)
+	env.ImportExpertise()
+
+	// --- Inter-activity model: the programme of sub-activities ----------
+	acts := env.Activities()
+	survey, _ := acts.Create("ada", "geological survey", "map the chalk layer")
+	boring, _ := acts.Create("ada", "tunnel boring", "dig from both ends")
+	meetings, _ := acts.Create("ada", "progress meetings", "weekly, on-going")
+	report, _ := acts.Create("ben", "joint report", "quarterly status")
+
+	must(acts.DependOn(boring.ID, survey.ID)) // boring waits on the survey
+	must(acts.Join(boring.ID, "ben", "site-engineer"))
+	must(acts.Join(report.ID, "ada", "reviewer"))
+	must(acts.Join(meetings.ID, "ben", ""))
+	must(acts.UseResource(boring.ID, "tbm-1"))
+	must(acts.UseResource(survey.ID, "tbm-1")) // shared resource => dependency
+
+	order, err := acts.Schedule()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schedule (prerequisites first):")
+	for i, aid := range order {
+		a, _ := acts.Get(aid)
+		fmt.Printf("  %d. %s [%s]\n", i+1, a.Name, a.State)
+	}
+
+	// Activation respects temporal dependencies.
+	if err := acts.Transition("ada", boring.ID, activity.StateActive); err != nil {
+		fmt.Printf("boring cannot start yet: %v\n", err)
+	}
+	must(acts.Transition("ada", survey.ID, activity.StateActive))
+	must(acts.SetProgress("ada", survey.ID, 100))
+	must(acts.Transition("ada", survey.ID, activity.StateCompleted))
+	must(acts.Transition("ada", boring.ID, activity.StateActive))
+	fmt.Println("survey completed; boring started")
+
+	// Negotiate responsibility for the report to ada.
+	neg, err := acts.Propose("ben", report.ID, activity.NegResponsibility, "ada", "")
+	must(err)
+	_, err = acts.Accept("ada", neg.ID)
+	must(err)
+	got, _ := acts.Get(report.ID)
+	fmt.Printf("report coordinator after negotiation: %s\n", got.Coordinator)
+
+	// Inter-activity dependencies materialised from shared resources.
+	for _, d := range acts.Dependencies(boring.ID) {
+		fmt.Printf("dependency: %s -[%s]-> %s (%s)\n", boring.ID, d.Kind, d.To, d.Detail)
+	}
+
+	// Staffing from the expertise model.
+	capable := env.Expertise().FindCapable("tunnel-engineering", expertise.LevelExpert)
+	fmt.Printf("experts available for tunnelling: %v\n", capable)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

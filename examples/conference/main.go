@@ -1,0 +1,70 @@
+// Conference: a synchronous desktop conference with floor control, plus
+// temporal transparency — the absent member receives the minutes through
+// the MHS, so "interaction will be independent of the mode we are using".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mocca"
+	"mocca/internal/comm"
+)
+
+func main() {
+	dep := mocca.NewDeployment(mocca.WithSeed(3))
+	gmd := dep.AddSite("gmd", "gmd.de")
+
+	_ = gmd.AddUser("prinz")
+	_ = gmd.AddUser("rodden")
+	_ = gmd.AddUser("navarro") // will be absent
+
+	cid, err := dep.Conferencing().CreateConference("odp position paper", mocca.ConferenceModerated)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prinz, err := dep.JoinConference(cid, "prinz")
+	must(err)
+	rodden, err := dep.JoinConference(cid, "rodden")
+	must(err)
+
+	// Moderated editing: the floor gates updates.
+	must(dep.Do(func() error { _, err := prinz.RequestFloor(); return err }))
+	must(dep.Do(func() error { return prinz.Set("section-6", "ODP and CSCW: mutual benefit") }))
+	if err := dep.Do(func() error { return rodden.Set("section-6", "hijack!") }); err != nil {
+		fmt.Printf("rodden blocked without floor: %v\n", err)
+	}
+	must(dep.Do(prinz.ReleaseFloor))
+	must(dep.Do(func() error { _, err := rodden.RequestFloor(); return err }))
+	must(dep.Do(func() error { return rodden.Set("conclusion", "we answer: yes!") }))
+	dep.Run()
+
+	fmt.Printf("prinz sees conclusion: %q\n", prinz.Get("conclusion"))
+	fmt.Printf("rodden sees section-6: %q\n", rodden.Get("section-6"))
+
+	must(dep.Do(prinz.Leave))
+	must(dep.Do(rodden.Leave))
+	dep.Run()
+
+	// Temporal transparency: navarro was offline for the whole meeting;
+	// the bridge mails him the minutes.
+	sent, err := comm.BridgeConference(dep.Env().Hub(), dep.Conferencing(), cid,
+		[]string{"prinz", "rodden", "navarro"}, "meeting:"+cid)
+	must(err)
+	dep.Run()
+	fmt.Printf("digests mailed to absent members: %d\n", sent)
+
+	site, _ := dep.Site("gmd")
+	_ = site
+	// navarro reads the minutes asynchronously.
+	hub := dep.Env().Hub()
+	_ = hub
+	fmt.Println("conference over; minutes delivered via MHS")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Federation: two organisations with their own policies interoperate
+// through the environment. The organisational knowledge base dictates the
+// trading policy (§6.1), and organisational transparency controls what
+// users see of the boundary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mocca"
+	"mocca/internal/directory"
+	"mocca/internal/odp"
+	"mocca/internal/org"
+	"mocca/internal/trader"
+	"mocca/internal/transparency"
+)
+
+func main() {
+	dep := mocca.NewDeployment(mocca.WithSeed(5))
+	env := dep.Env()
+	kb := env.Org()
+
+	must(kb.AddObject(org.Object{ID: "gmd", Kind: org.KindOrg, Name: "GMD"}))
+	must(kb.AddObject(org.Object{ID: "upc", Kind: org.KindOrg, Name: "UPC"}))
+	must(kb.AddObject(org.Object{ID: "lancaster", Kind: org.KindOrg, Name: "Lancaster"}))
+	must(kb.AddObject(org.Object{ID: "prinz", Kind: org.KindPerson, Name: "Prinz", Org: "gmd"}))
+	must(kb.AddObject(org.Object{ID: "navarro", Kind: org.KindPerson, Name: "Navarro", Org: "upc"}))
+
+	// GMD and UPC share openly; Lancaster's (hypothetical) policy differs.
+	kb.SetPolicy("gmd", "data-sharing", "open")
+	kb.SetPolicy("upc", "data-sharing", "open")
+	kb.SetPolicy("lancaster", "data-sharing", "restricted")
+
+	// Each organisation exports a conferencing service offer.
+	tr := env.Trader()
+	must(tr.RegisterType("conferencing"))
+	for _, o := range []trader.Offer{
+		{ID: "gmd-mcu", ServiceType: "conferencing", Provider: "mcu-gmd",
+			Properties: directory.NewAttributes("org", "gmd", "maxusers", "20")},
+		{ID: "upc-mcu", ServiceType: "conferencing", Provider: "mcu-upc",
+			Properties: directory.NewAttributes("org", "upc", "maxusers", "50")},
+		{ID: "lancs-mcu", ServiceType: "conferencing", Provider: "mcu-lancs",
+			Properties: directory.NewAttributes("org", "lancaster", "maxusers", "10")},
+	} {
+		must(tr.Export(o))
+	}
+
+	// The org KB dictates the trading policy: prinz (GMD) sees GMD and UPC
+	// offers, but not Lancaster's (incompatible data-sharing policy).
+	offers, err := tr.Import(trader.ImportRequest{
+		ServiceType: "conferencing", Importer: "prinz", OrderBy: "maxusers",
+	})
+	must(err)
+	fmt.Printf("prinz's trader view (%d offers):\n", len(offers))
+	for _, o := range offers {
+		fmt.Printf("  %s from org=%s (maxusers=%s)\n",
+			o.ID, o.Properties.First("org"), o.Properties.First("maxusers"))
+	}
+
+	// Organisational transparency: with it on (default), the UPC service
+	// looks local; after the user turns it off, the boundary is annotated.
+	sel := env.Transparency()
+	view, err := transparency.ResolveOrg(sel, kb, "prinz", "gmd", "upc")
+	must(err)
+	fmt.Printf("transparent view of upc resource: visible=%v annotation=%q\n", view.Visible, view.Annotation)
+
+	sel.Disable("prinz", odp.Organisation)
+	view, err = transparency.ResolveOrg(sel, kb, "prinz", "gmd", "upc")
+	must(err)
+	fmt.Printf("opaque view of upc resource:      visible=%v annotation=%q\n", view.Visible, view.Annotation)
+
+	// Incompatible policies block interaction entirely — transparency
+	// hides structure, never policy.
+	if _, err := transparency.ResolveOrg(sel, kb, "prinz", "gmd", "lancaster"); err != nil {
+		fmt.Printf("lancaster interaction blocked: %v\n", err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a two-site deployment, send mail across sites, and
+// share an information object between two applications with different
+// native schemas — the smallest end-to-end tour of the environment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mocca"
+	"mocca/internal/information"
+)
+
+func main() {
+	dep := mocca.NewDeployment(mocca.WithSeed(1))
+	gmd := dep.AddSite("gmd", "gmd.de")
+	upc := dep.AddSite("upc", "upc.es")
+
+	prinz := gmd.AddUser("prinz")
+	navarro := upc.AddUser("navarro")
+
+	// 1. Asynchronous mail across management domains (X.400-style MHS).
+	if _, err := prinz.Send([]mocca.ORName{navarro.Name},
+		"open cscw systems", "will odp help? we think: yes"); err != nil {
+		log.Fatal(err)
+	}
+	dep.Run()
+	msgs, err := navarro.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("navarro received %d message(s); first subject: %q\n",
+		len(msgs), msgs[0].Envelope.Content.Subject)
+
+	// 2. Register an application with its native schema (figure 3).
+	err = dep.Env().RegisterApplication(mocca.Application{
+		Name:     "report-editor",
+		Quadrant: "different-time/different-place",
+		Schema: information.Schema{Name: "report", Fields: []information.Field{
+			{Name: "heading", Type: information.FieldText, Required: true},
+			{Name: "text", Type: information.FieldText},
+		}},
+		ToShared: func(in map[string]string) (map[string]string, error) {
+			return map[string]string{"title": in["heading"], "body": in["text"]}, nil
+		},
+		FromShared: func(in map[string]string) (map[string]string, error) {
+			return map[string]string{"heading": in["title"], "text": in["body"]}, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Author, share, and read back through the shared representation.
+	obj, err := dep.Env().Space().Put("prinz", "report",
+		map[string]string{"heading": "Models to support open CSCW", "text": "five models…"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dep.Env().Space().Share("prinz", obj.ID, "navarro", false); err != nil {
+		log.Fatal(err)
+	}
+	shared, err := dep.Env().Space().GetAs("navarro", obj.ID, mocca.SharedSchemaName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("navarro reads shared object: title=%q\n", shared.Fields["title"])
+
+	rep := dep.Env().Snapshot()
+	fmt.Printf("environment: %d app(s), %d schema(s), %d object(s)\n",
+		len(rep.Applications), len(rep.Schemas), rep.Objects)
+}

@@ -1,0 +1,237 @@
+package access
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// newProjectSystem models the paper's Channel-Tunnel example: a project
+// with managers, engineers, and external reviewers.
+func newProjectSystem(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.DefineRole("member"))
+	must(s.DefineRole("engineer", "member"))
+	must(s.DefineRole("manager", "engineer"))
+	must(s.DefineRole("reviewer"))
+
+	must(s.Grant("member", OpRead, "info/*"))
+	must(s.Grant("engineer", OpWrite, "info/drawings/*"))
+	must(s.Grant("manager", OpCoordinate, "activity/*"))
+	must(s.Grant("manager", OpShare, "info/*"))
+	must(s.Grant("reviewer", OpRead, "info/reports/*"))
+	return s
+}
+
+func TestRoleInheritance(t *testing.T) {
+	s := newProjectSystem(t)
+	if err := s.Assign("ada", "manager", GlobalScope); err != nil {
+		t.Fatal(err)
+	}
+	// Manager inherits engineer and member permissions.
+	tests := []struct {
+		op   Op
+		res  string
+		want bool
+	}{
+		{OpRead, "info/reports/q1", true},         // via member
+		{OpWrite, "info/drawings/tunnel-7", true}, // via engineer
+		{OpCoordinate, "activity/progress", true}, // direct
+		{OpWrite, "info/reports/q1", false},       // engineers write drawings only
+		{OpAdmin, "info/reports/q1", false},
+	}
+	for _, tt := range tests {
+		if got := s.Can("ada", tt.op, tt.res); got != tt.want {
+			t.Errorf("Can(ada, %s, %s) = %v, want %v", tt.op, tt.res, got, tt.want)
+		}
+	}
+}
+
+func TestScopedAssignment(t *testing.T) {
+	s := newProjectSystem(t)
+	// bob is an engineer only within the "tunnel" activity scope.
+	if err := s.Assign("bob", "engineer", "activity/tunnel"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Can("bob", OpWrite, "info/drawings/x") {
+		t.Fatal("scoped role leaked into global scope")
+	}
+	if !s.CanInScope("bob", OpWrite, "info/drawings/x", "activity/tunnel") {
+		t.Fatal("scoped role not effective in its scope")
+	}
+	if s.CanInScope("bob", OpWrite, "info/drawings/x", "activity/bridge") {
+		t.Fatal("scoped role effective in wrong scope")
+	}
+}
+
+func TestGlobalRoleWorksInAnyScope(t *testing.T) {
+	s := newProjectSystem(t)
+	if err := s.Assign("carol", "member", GlobalScope); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CanInScope("carol", OpRead, "info/x", "activity/anything") {
+		t.Fatal("global role not effective in scoped check")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	s := newProjectSystem(t)
+	if err := s.Assign("dan", "manager", GlobalScope); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Can("dan", OpShare, "info/doc") {
+		t.Fatal("grant not effective")
+	}
+	s.Revoke("dan", "manager", GlobalScope)
+	if s.Can("dan", OpShare, "info/doc") {
+		t.Fatal("revoked role still effective")
+	}
+}
+
+func TestDirectPrincipalGrant(t *testing.T) {
+	s := newProjectSystem(t)
+	s.GrantPrincipal("eve", OpRead, "info/public/*")
+	if !s.Can("eve", OpRead, "info/public/readme") {
+		t.Fatal("direct grant not effective")
+	}
+	if s.Can("eve", OpRead, "info/secret") {
+		t.Fatal("direct grant over-broad")
+	}
+}
+
+func TestUnknownRoleErrors(t *testing.T) {
+	s := NewSystem()
+	if err := s.Assign("x", "ghost", GlobalScope); !errors.Is(err, ErrUnknownRole) {
+		t.Fatalf("Assign ghost: %v", err)
+	}
+	if err := s.Grant("ghost", OpRead, "*"); !errors.Is(err, ErrUnknownRole) {
+		t.Fatalf("Grant ghost: %v", err)
+	}
+	if err := s.DefineRole("a", "ghost"); !errors.Is(err, ErrUnknownRole) {
+		t.Fatalf("DefineRole with ghost parent: %v", err)
+	}
+	if err := s.DefineRole("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DefineRole("b"); !errors.Is(err, ErrRoleExists) {
+		t.Fatalf("duplicate DefineRole: %v", err)
+	}
+}
+
+func TestRolesOf(t *testing.T) {
+	s := newProjectSystem(t)
+	if err := s.Assign("ada", "manager", GlobalScope); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign("ada", "reviewer", "activity/audit"); err != nil {
+		t.Fatal(err)
+	}
+	global := s.RolesOf("ada", GlobalScope)
+	want := []string{"engineer", "manager", "member"}
+	if fmt.Sprint(global) != fmt.Sprint(want) {
+		t.Fatalf("RolesOf global = %v, want %v", global, want)
+	}
+	scoped := s.RolesOf("ada", "activity/audit")
+	if len(scoped) != 4 {
+		t.Fatalf("RolesOf scoped = %v", scoped)
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	s := newProjectSystem(t)
+	if err := s.Assign("ada", "member", GlobalScope); err != nil {
+		t.Fatal(err)
+	}
+	s.Can("ada", OpRead, "info/x")  // allowed
+	s.Can("ada", OpWrite, "info/x") // denied
+	audit := s.Audit()
+	if len(audit) != 2 {
+		t.Fatalf("audit has %d entries", len(audit))
+	}
+	if !audit[0].Allowed || audit[1].Allowed {
+		t.Fatalf("audit = %+v", audit)
+	}
+	if s.DeniedCount() != 1 {
+		t.Fatalf("DeniedCount = %d", s.DeniedCount())
+	}
+}
+
+func TestAuditBounded(t *testing.T) {
+	s := newProjectSystem(t)
+	for i := 0; i < auditLimit+100; i++ {
+		s.Can("nobody", OpRead, "info/x")
+	}
+	if n := len(s.Audit()); n != auditLimit {
+		t.Fatalf("audit grew to %d, want cap %d", n, auditLimit)
+	}
+}
+
+func TestNoPermissionsByDefault(t *testing.T) {
+	s := NewSystem()
+	f := func(principal, resource string) bool {
+		return !s.Can(principal, OpRead, resource) &&
+			!s.Can(principal, OpAdmin, resource)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGrantImpliesCan(t *testing.T) {
+	f := func(raw string) bool {
+		// Any concrete resource (no '*') that is granted exactly is
+		// allowed exactly.
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		s := NewSystem()
+		if err := s.DefineRole("r"); err != nil {
+			return false
+		}
+		if err := s.Grant("r", OpRead, raw); err != nil {
+			return false
+		}
+		if err := s.Assign("p", "r", GlobalScope); err != nil {
+			return false
+		}
+		return s.Can("p", OpRead, raw) == !containsStar(raw) || s.Can("p", OpRead, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsStar(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '*' {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGlobPatterns(t *testing.T) {
+	tests := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"info/*", "info/doc", true},
+		{"info/*", "activity/doc", false},
+		{"*", "anything", true},
+		{"info/*/draft", "info/reports/draft", true},
+		{"info/*/draft", "info/reports/final", false},
+	}
+	for _, tt := range tests {
+		if got := globMatch(tt.pattern, tt.s); got != tt.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", tt.pattern, tt.s, got, tt.want)
+		}
+	}
+}

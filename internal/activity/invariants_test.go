@@ -1,0 +1,93 @@
+package activity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mocca/internal/netsim"
+	"mocca/internal/vclock"
+)
+
+// TestQuickScheduleIsTopological: for random DAGs of finish-start
+// dependencies, Schedule always emits every activity with prerequisites
+// first.
+func TestQuickScheduleIsTopological(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		n := int(sizeRaw%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		clk := vclock.NewSimulated(netsim.DefaultEpoch)
+		reg := NewRegistry(clk)
+		ids := make([]string, n)
+		for i := 0; i < n; i++ {
+			a, err := reg.Create("x", "", "")
+			if err != nil {
+				return false
+			}
+			ids[i] = a.ID
+		}
+		// Random edges only from later to earlier indices keeps the DAG
+		// acyclic by construction: later activities wait on earlier ones.
+		deps := map[string][]string{}
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if rng.Intn(4) == 0 {
+					if err := reg.DependOn(ids[i], ids[j]); err != nil {
+						return false
+					}
+					deps[ids[i]] = append(deps[ids[i]], ids[j])
+				}
+			}
+		}
+		order, err := reg.Schedule()
+		if err != nil {
+			return false
+		}
+		if len(order) != n {
+			return false
+		}
+		pos := map[string]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for from, tos := range deps {
+			for _, to := range tos {
+				if pos[to] > pos[from] {
+					return false // prerequisite scheduled after dependent
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCycleAlwaysRejected: adding any edge that closes a directed
+// cycle is refused, for random chains.
+func TestQuickCycleAlwaysRejected(t *testing.T) {
+	f := func(sizeRaw uint8) bool {
+		n := int(sizeRaw%10) + 2
+		clk := vclock.NewSimulated(netsim.DefaultEpoch)
+		reg := NewRegistry(clk)
+		ids := make([]string, n)
+		for i := 0; i < n; i++ {
+			a, err := reg.Create("x", "", "")
+			if err != nil {
+				return false
+			}
+			ids[i] = a.ID
+			if i > 0 {
+				if err := reg.DependOn(ids[i], ids[i-1]); err != nil {
+					return false
+				}
+			}
+		}
+		// Any back edge from an earlier to a later element closes a cycle.
+		return reg.DependOn(ids[0], ids[n-1]) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

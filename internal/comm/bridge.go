@@ -1,0 +1,75 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+
+	"mocca/internal/rtc"
+)
+
+// BridgeConference realises temporal transparency for meetings: the full
+// event history of a synchronous conference is rendered into a digest and
+// sent to each absent member through the hub's transparent path. Members
+// who were present are skipped — they saw it live.
+//
+// Returns the number of digests dispatched.
+func BridgeConference(hub *Hub, server *rtc.Server, conferenceID string, allMembers []string, context string) (int, error) {
+	history, err := server.History(conferenceID)
+	if err != nil {
+		return 0, err
+	}
+	present := make(map[string]bool)
+	for _, ev := range history {
+		switch ev.Kind {
+		case rtc.EventJoined:
+			present[ev.From] = true
+		}
+	}
+	digest := RenderDigest(history)
+	hub.RegisterSystem("conference-bridge")
+	sent := 0
+	var firstErr error
+	for _, member := range allMembers {
+		if present[member] {
+			continue
+		}
+		_, err := hub.Send(Message{
+			From:    "conference-bridge",
+			To:      member,
+			Subject: fmt.Sprintf("minutes of conference %s", conferenceID),
+			Body:    digest,
+			Context: context,
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+			continue
+		}
+		if err == nil {
+			sent++
+		}
+	}
+	return sent, firstErr
+}
+
+// RenderDigest renders a conference history as readable minutes.
+func RenderDigest(history []rtc.Event) string {
+	var b strings.Builder
+	for _, ev := range history {
+		switch ev.Kind {
+		case rtc.EventJoined:
+			fmt.Fprintf(&b, "[%s] %s joined\n", ev.At.Format("15:04:05"), ev.From)
+		case rtc.EventLeft:
+			fmt.Fprintf(&b, "[%s] %s left\n", ev.At.Format("15:04:05"), ev.From)
+		case rtc.EventEvicted:
+			fmt.Fprintf(&b, "[%s] %s disconnected\n", ev.At.Format("15:04:05"), ev.From)
+		case rtc.EventState:
+			fmt.Fprintf(&b, "[%s] %s set %s = %s\n", ev.At.Format("15:04:05"), ev.From, ev.Key, ev.Value)
+		case rtc.EventFloor:
+			fmt.Fprintf(&b, "[%s] floor %s by %s\n", ev.At.Format("15:04:05"), ev.Value, ev.From)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no recorded activity)"
+	}
+	return b.String()
+}

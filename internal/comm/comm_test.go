@@ -1,0 +1,240 @@
+package comm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mocca/internal/mhs"
+	"mocca/internal/netsim"
+	"mocca/internal/odp"
+	"mocca/internal/rpc"
+	"mocca/internal/rtc"
+	"mocca/internal/transparency"
+	"mocca/internal/vclock"
+)
+
+type hubFixture struct {
+	clk   *vclock.Simulated
+	net   *netsim.Network
+	hub   *Hub
+	sel   *transparency.Selector
+	mta   *mhs.MTA
+	prinz *mhs.UserAgent
+	klaus *mhs.UserAgent
+}
+
+func newHubFixture(t *testing.T) *hubFixture {
+	t.Helper()
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(31))
+	mtaEP := rpc.NewEndpoint(net.MustAddNode("mta"), clk)
+	mta := mhs.NewMTA("mta-gmd", "gmd.de", mtaEP, clk)
+	prinz := mhs.NewUserAgent(mhs.MustParseORName("pn=prinz;o=gmd;c=de"), mta)
+	klaus := mhs.NewUserAgent(mhs.MustParseORName("pn=klaus;o=gmd;c=de"), mta)
+
+	sel := transparency.NewSelector()
+	hub := NewHub(clk, sel)
+	hub.Register("prinz", prinz)
+	hub.Register("klaus", klaus)
+	return &hubFixture{clk: clk, net: net, hub: hub, sel: sel, mta: mta, prinz: prinz, klaus: klaus}
+}
+
+func TestSendSyncWhenOnline(t *testing.T) {
+	f := newHubFixture(t)
+	var live []Message
+	if err := f.hub.SetOnline("klaus", func(m Message) { live = append(live, m) }); err != nil {
+		t.Fatal(err)
+	}
+	mode, err := f.hub.Send(Message{From: "prinz", To: "klaus", Subject: "now", Body: "q?", Context: "act-1"})
+	if err != nil || mode != transparency.ModeSync {
+		t.Fatalf("mode=%v err=%v", mode, err)
+	}
+	if len(live) != 1 || live[0].Subject != "now" {
+		t.Fatalf("live = %v", live)
+	}
+	// Nothing hit the mailbox.
+	f.clk.RunUntilIdle()
+	if f.klaus.Unread() != 0 {
+		t.Fatal("sync delivery also hit the mailbox")
+	}
+}
+
+func TestSendAsyncWhenOffline(t *testing.T) {
+	f := newHubFixture(t)
+	mode, err := f.hub.Send(Message{From: "prinz", To: "klaus", Subject: "later", Body: "fyi", Context: "act-1"})
+	if err != nil || mode != transparency.ModeAsync {
+		t.Fatalf("mode=%v err=%v", mode, err)
+	}
+	f.clk.RunUntilIdle()
+	msgs, err := f.klaus.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Envelope.Content.Subject != "later" {
+		t.Fatalf("mailbox = %v", msgs)
+	}
+	if got := msgs[0].Envelope.Content.Headers["comm-from"]; got != "prinz" {
+		t.Fatalf("comm-from = %q", got)
+	}
+}
+
+func TestOfflineWithoutTimeTransparencyFails(t *testing.T) {
+	f := newHubFixture(t)
+	f.sel.Disable("prinz", odp.Time)
+	_, err := f.hub.Send(Message{From: "prinz", To: "klaus", Subject: "x"})
+	if !errors.Is(err, transparency.ErrRecipientOffline) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := f.hub.Stats(); st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUnknownUsers(t *testing.T) {
+	f := newHubFixture(t)
+	if _, err := f.hub.Send(Message{From: "ghost", To: "klaus"}); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("ghost sender: %v", err)
+	}
+	if _, err := f.hub.Send(Message{From: "prinz", To: "ghost"}); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("ghost recipient: %v", err)
+	}
+}
+
+func TestPresenceToggle(t *testing.T) {
+	f := newHubFixture(t)
+	if err := f.hub.SetOnline("klaus", func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.hub.Online("klaus") {
+		t.Fatal("not online after SetOnline")
+	}
+	if err := f.hub.SetOnline("klaus", nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.hub.Online("klaus") {
+		t.Fatal("still online after SetOnline(nil)")
+	}
+	if err := f.hub.SetOnline("ghost", nil); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("ghost presence: %v", err)
+	}
+}
+
+func TestExchangeLogWithContext(t *testing.T) {
+	f := newHubFixture(t)
+	_, _ = f.hub.Send(Message{From: "prinz", To: "klaus", Subject: "a", Context: "act-1"})
+	_, _ = f.hub.Send(Message{From: "prinz", To: "klaus", Subject: "b", Context: "act-2"})
+	_, _ = f.hub.Send(Message{From: "klaus", To: "prinz", Subject: "c", Context: "act-1"})
+	all := f.hub.Exchanges("")
+	if len(all) != 3 {
+		t.Fatalf("all exchanges = %d", len(all))
+	}
+	act1 := f.hub.Exchanges("act-1")
+	if len(act1) != 2 || act1[0].Message.Subject != "a" || act1[1].Message.Subject != "c" {
+		t.Fatalf("act-1 exchanges = %v", act1)
+	}
+}
+
+func TestSpoolMedia(t *testing.T) {
+	f := newHubFixture(t)
+	fax := NewSpool("fax")
+	f.hub.AddMedium(fax)
+	if err := f.hub.SendVia("fax", Message{From: "prinz", To: "+49-2241", Subject: "contract", Body: "sign here"}); err != nil {
+		t.Fatal(err)
+	}
+	if fax.Len() != 1 {
+		t.Fatalf("spool len = %d", fax.Len())
+	}
+	items := fax.Drain()
+	if len(items) != 1 || items[0].Subject != "contract" {
+		t.Fatalf("drained = %v", items)
+	}
+	if fax.Len() != 0 {
+		t.Fatal("drain did not empty spool")
+	}
+	if err := f.hub.SendVia("telex", Message{}); !errors.Is(err, ErrUnknownMedium) {
+		t.Fatalf("unknown medium: %v", err)
+	}
+	// Media exchanges carry their medium name in the log.
+	exs := f.hub.Exchanges("")
+	if len(exs) != 1 || exs[0].Medium != "fax" {
+		t.Fatalf("exchange log = %v", exs)
+	}
+}
+
+func TestIngestFromMedium(t *testing.T) {
+	f := newHubFixture(t)
+	// A fax arrives from an external party addressed to klaus (offline):
+	// interchange routes it into his mailbox.
+	mode, err := f.hub.Ingest("fax", Message{From: "external-partner", To: "klaus", Subject: "inbound fax", Body: "…"})
+	if err != nil || mode != transparency.ModeAsync {
+		t.Fatalf("mode=%v err=%v", mode, err)
+	}
+	f.clk.RunUntilIdle()
+	if f.klaus.Unread() != 1 {
+		t.Fatal("ingested fax not in mailbox")
+	}
+}
+
+func TestConferenceBridge(t *testing.T) {
+	f := newHubFixture(t)
+	// Host a conference where only prinz participates; klaus is absent.
+	mcuEP := rpc.NewEndpoint(f.net.MustAddNode("mcu"), f.clk)
+	server := rtc.NewServer(mcuEP, f.clk)
+	cid, err := server.CreateConference("design", rtc.ModeOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pEP := rpc.NewEndpoint(f.net.MustAddNode("prinz-node"), f.clk)
+	sess := rtc.NewSession(pEP, f.clk, "mcu", cid, "prinz")
+
+	drive := func(op func() error) {
+		t.Helper()
+		done := make(chan error, 1)
+		go func() { done <- op() }()
+		for {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			default:
+				time.Sleep(200 * time.Microsecond)
+				f.clk.Advance(10 * time.Millisecond)
+			}
+		}
+	}
+	drive(sess.Join)
+	drive(func() error { return sess.Set("decision", "adopt odp") })
+	drive(sess.Leave)
+	f.clk.RunUntilIdle()
+
+	sent, err := BridgeConference(f.hub, server, cid, []string{"prinz", "klaus"}, "meeting:design")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 1 {
+		t.Fatalf("digests sent = %d, want 1 (only klaus was absent)", sent)
+	}
+	f.clk.RunUntilIdle()
+	msgs, _ := f.klaus.List()
+	if len(msgs) != 1 {
+		t.Fatalf("klaus mailbox = %d", len(msgs))
+	}
+	body := msgs[0].Envelope.Content.Body
+	if !strings.Contains(body, "prinz set decision = adopt odp") {
+		t.Fatalf("digest body = %q", body)
+	}
+	// prinz, who attended, got nothing.
+	if f.prinz.Unread() != 0 {
+		t.Fatal("attendee received a digest")
+	}
+}
+
+func TestRenderDigestEmpty(t *testing.T) {
+	if got := RenderDigest(nil); got != "(no recorded activity)" {
+		t.Fatalf("empty digest = %q", got)
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mocca/internal/directory"
+	"mocca/internal/information"
+	"mocca/internal/netsim"
+	"mocca/internal/odp"
+	"mocca/internal/org"
+	"mocca/internal/policy"
+	"mocca/internal/trader"
+	"mocca/internal/vclock"
+)
+
+func newEnv(t *testing.T) *Environment {
+	t.Helper()
+	return New(vclock.NewSimulated(netsim.DefaultEpoch))
+}
+
+// editorApp and mailApp are two figure-3 applications with different
+// native schemas.
+func editorApp() Application {
+	rename := func(m map[string]string) func(map[string]string) (map[string]string, error) {
+		return func(in map[string]string) (map[string]string, error) {
+			out := make(map[string]string)
+			for k, v := range in {
+				if nk, ok := m[k]; ok {
+					out[nk] = v
+				}
+			}
+			return out, nil
+		}
+	}
+	return Application{
+		Name:       "group-editor",
+		Quadrant:   "same-time/different-place",
+		Schema:     information.Schema{Name: "editor-doc", Fields: []information.Field{{Name: "heading", Type: information.FieldText, Required: true}, {Name: "text", Type: information.FieldText}, {Name: "writer", Type: information.FieldText}}},
+		ToShared:   rename(map[string]string{"heading": "title", "text": "body", "writer": "author"}),
+		FromShared: rename(map[string]string{"title": "heading", "body": "text", "author": "writer"}),
+	}
+}
+
+func mailApp() Application {
+	rename := func(m map[string]string) func(map[string]string) (map[string]string, error) {
+		return func(in map[string]string) (map[string]string, error) {
+			out := make(map[string]string)
+			for k, v := range in {
+				if nk, ok := m[k]; ok {
+					out[nk] = v
+				}
+			}
+			return out, nil
+		}
+	}
+	return Application{
+		Name:       "message-system",
+		Quadrant:   "different-time/different-place",
+		Schema:     information.Schema{Name: "mail-memo", Fields: []information.Field{{Name: "subject", Type: information.FieldText, Required: true}, {Name: "content", Type: information.FieldText}, {Name: "from", Type: information.FieldText}}},
+		ToShared:   rename(map[string]string{"subject": "title", "content": "body", "from": "author"}),
+		FromShared: rename(map[string]string{"title": "subject", "body": "content", "author": "from"}),
+	}
+}
+
+func TestApplicationRegistration(t *testing.T) {
+	env := newEnv(t)
+	if err := env.RegisterApplication(editorApp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.RegisterApplication(mailApp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.RegisterApplication(editorApp()); !errors.Is(err, ErrAppExists) {
+		t.Fatalf("dup registration: %v", err)
+	}
+	apps := env.Applications()
+	if len(apps) != 2 || apps[0] != "group-editor" {
+		t.Fatalf("apps = %v", apps)
+	}
+	quads := env.Quadrants()
+	if len(quads) != 2 {
+		t.Fatalf("quadrants = %v", quads)
+	}
+	schemas := env.Space().Registry().Schemas()
+	if len(schemas) != 3 { // 2 native + shared
+		t.Fatalf("schemas = %v", schemas)
+	}
+}
+
+func TestFigure3InteropAcrossApps(t *testing.T) {
+	env := newEnv(t)
+	if err := env.RegisterApplication(editorApp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.RegisterApplication(mailApp()); err != nil {
+		t.Fatal(err)
+	}
+	// The editor authors a document...
+	obj, err := env.Space().Put("ada", "editor-doc", map[string]string{
+		"heading": "Tunnel progress", "text": "on schedule", "writer": "ada",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...shares it with the mail system's user...
+	if err := env.Space().Share("ada", obj.ID, "ben", false); err != nil {
+		t.Fatal(err)
+	}
+	// ...who reads it in the mail system's native schema, two conversion
+	// hops away (editor-doc -> shared -> mail-memo).
+	memo, err := env.ShareAcross("ben", obj.ID, "message-system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.Fields["subject"] != "Tunnel progress" || memo.Fields["from"] != "ada" {
+		t.Fatalf("memo = %+v", memo.Fields)
+	}
+	if _, err := env.ShareAcross("ben", obj.ID, "ghost-app"); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("ghost app: %v", err)
+	}
+}
+
+func TestTradingPolicyWiredToOrgKB(t *testing.T) {
+	env := newEnv(t)
+	kb := env.Org()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(kb.AddObject(org.Object{ID: "gmd", Kind: org.KindOrg}))
+	must(kb.AddObject(org.Object{ID: "rival", Kind: org.KindOrg}))
+	must(kb.AddObject(org.Object{ID: "prinz", Kind: org.KindPerson, Org: "gmd"}))
+	kb.SetPolicy("gmd", "data-sharing", "open")
+	kb.SetPolicy("rival", "data-sharing", "closed")
+
+	tr := env.Trader()
+	must(tr.RegisterType("conferencing"))
+	must(tr.Export(trader.Offer{ID: "own", ServiceType: "conferencing",
+		Properties: directory.NewAttributes("org", "gmd")}))
+	must(tr.Export(trader.Offer{ID: "blocked", ServiceType: "conferencing",
+		Properties: directory.NewAttributes("org", "rival")}))
+
+	got, err := tr.Import(trader.ImportRequest{ServiceType: "conferencing", Importer: "prinz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "own" {
+		t.Fatalf("policy-filtered import = %v", got)
+	}
+}
+
+func TestModelEventsReachPolicyEngine(t *testing.T) {
+	env := newEnv(t)
+	var fired []string
+	env.Policies().RegisterAction("log", func(ev policy.Event, args map[string]string) error {
+		fired = append(fired, ev.Kind+":"+ev.Attr("name")+ev.Attr("schema"))
+		return nil
+	}, true)
+	if err := env.Policies().AddRule(policy.Rule{Name: "log-activity", On: "activity.created", ActionName: "log"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Policies().AddRule(policy.Rule{Name: "log-info", On: "info.put", ActionName: "log"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Activities().Create("ada", "progress-meetings", "weekly"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Space().Put("ada", SharedSchemaName, map[string]string{"title": "minutes"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if fired[0] != "activity.created:progress-meetings" || fired[1] != "info.put:mocca-interchange" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestConformanceCoversAllViewpoints(t *testing.T) {
+	env := newEnv(t)
+	reg := env.Conformance()
+	for _, v := range odp.Viewpoints() {
+		if len(reg.ByViewpoint(v)) == 0 {
+			t.Errorf("no requirement mapped at the %s viewpoint", v)
+		}
+	}
+	// The three §6.1 headline mappings exist.
+	names := map[string]bool{}
+	for _, r := range reg.All() {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"organisational-modelling", "selective-transparency", "trading-policy-from-org-kb"} {
+		if !names[want] {
+			t.Errorf("missing conformance requirement %q", want)
+		}
+	}
+}
+
+func TestSyncOrgToDirectory(t *testing.T) {
+	env := newEnv(t)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(env.Org().AddObject(org.Object{ID: "gmd", Kind: org.KindOrg, Name: "GMD"}))
+	must(env.Org().AddObject(org.Object{ID: "prinz", Kind: org.KindPerson, Name: "Prinz", Org: "gmd"}))
+	must(env.SyncOrgToDirectory())
+	entry, err := env.Directory().Read(directory.MustParseDN("cn=prinz,ou=person,o=gmd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Attrs.First("cn") != "Prinz" {
+		t.Fatalf("entry = %v", entry.Attrs)
+	}
+}
+
+func TestImportExpertise(t *testing.T) {
+	env := newEnv(t)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(env.Org().AddObject(org.Object{ID: "gmd", Kind: org.KindOrg}))
+	must(env.Org().AddObject(org.Object{ID: "prinz", Kind: org.KindPerson, Org: "gmd"}))
+	must(env.Org().AddObject(org.Object{ID: "leader", Kind: org.KindRole, Org: "gmd"}))
+	must(env.Org().Relate("prinz", org.RelFills, "leader"))
+	env.ImportExpertise()
+	p, err := env.Expertise().Profile("prinz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Responsibilities) != 1 || p.Responsibilities[0].Name != "leader" {
+		t.Fatalf("profile = %+v", p)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	env := newEnv(t)
+	if err := env.RegisterApplication(editorApp()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Space().Put("ada", SharedSchemaName, map[string]string{"title": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Activities().Create("ada", "a", ""); err != nil {
+		t.Fatal(err)
+	}
+	rep := env.Snapshot()
+	if len(rep.Applications) != 1 || rep.Objects != 1 || rep.Activities != 1 || rep.Requirements == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

@@ -1,0 +1,337 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// seedDIT builds the small organisation tree used across tests:
+//
+//	o=GMD
+//	  ou=CSCW
+//	    cn=Prinz (person)
+//	    cn=Klaus (person)
+//	  ou=ODP
+//	    cn=Meer (person)
+//	o=UPC
+//	  cn=Navarro (person)
+//	cn=PrinzAlias -> cn=Prinz,ou=CSCW,o=GMD
+func seedDIT(t *testing.T) *DIT {
+	t.Helper()
+	d := NewDIT()
+	add := func(dn string, attrs Attributes) {
+		t.Helper()
+		if err := d.Add(MustParseDN(dn), attrs); err != nil {
+			t.Fatalf("Add(%s): %v", dn, err)
+		}
+	}
+	add("o=GMD", NewAttributes("objectclass", ClassOrganization, "o", "GMD"))
+	add("ou=CSCW,o=GMD", NewAttributes("objectclass", ClassOrgUnit, "ou", "CSCW"))
+	add("ou=ODP,o=GMD", NewAttributes("objectclass", ClassOrgUnit, "ou", "ODP"))
+	add("cn=Prinz,ou=CSCW,o=GMD", PersonEntry("Prinz", "Prinz", "prinz@gmd.de"))
+	add("cn=Klaus,ou=CSCW,o=GMD", PersonEntry("Klaus", "Klaus", ""))
+	add("cn=Meer,ou=ODP,o=GMD", PersonEntry("Meer", "de Meer", "meer@gmd.de"))
+	add("o=UPC", NewAttributes("objectclass", ClassOrganization, "o", "UPC"))
+	add("cn=Navarro,o=UPC", PersonEntry("Navarro", "Navarro Moldes", "leandro@upc.es"))
+	add("cn=PrinzAlias", NewAttributes(AliasAttr, "cn=Prinz,ou=CSCW,o=GMD"))
+	return d
+}
+
+func TestAddRequiresParent(t *testing.T) {
+	d := NewDIT()
+	err := d.Add(MustParseDN("cn=X,ou=Nowhere,o=Gone"), nil)
+	if !errors.Is(err, ErrNoParent) {
+		t.Fatalf("err = %v, want ErrNoParent", err)
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	d := seedDIT(t)
+	err := d.Add(MustParseDN("o=GMD"), nil)
+	if !errors.Is(err, ErrEntryExists) {
+		t.Fatalf("err = %v, want ErrEntryExists", err)
+	}
+}
+
+func TestReadAndCopySemantics(t *testing.T) {
+	d := seedDIT(t)
+	e, err := d.Read(MustParseDN("cn=Prinz,ou=CSCW,o=GMD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned entry must not affect the store.
+	e.Attrs.Add("mail", "hacked@evil")
+	again, err := d.Read(MustParseDN("cn=Prinz,ou=CSCW,o=GMD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Attrs.Has("mail", "hacked@evil") {
+		t.Fatal("Read returned aliased storage")
+	}
+}
+
+func TestDeleteLeafOnly(t *testing.T) {
+	d := seedDIT(t)
+	if err := d.Delete(MustParseDN("o=GMD")); !errors.Is(err, ErrHasChildren) {
+		t.Fatalf("delete non-leaf: %v, want ErrHasChildren", err)
+	}
+	if err := d.Delete(MustParseDN("cn=Klaus,ou=CSCW,o=GMD")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(MustParseDN("cn=Klaus,ou=CSCW,o=GMD")); !errors.Is(err, ErrNoSuchEntry) {
+		t.Fatalf("read after delete: %v", err)
+	}
+}
+
+func TestModifyAtomic(t *testing.T) {
+	d := seedDIT(t)
+	dn := MustParseDN("cn=Prinz,ou=CSCW,o=GMD")
+	err := d.Modify(dn,
+		Modification{Op: "add", Attr: "title", Value: "researcher"},
+		Modification{Op: "bogus"},
+	)
+	if err == nil {
+		t.Fatal("modify with bad op succeeded")
+	}
+	e, _ := d.Read(dn)
+	if e.Attrs.Has("title", "") {
+		t.Fatal("partial modify applied; not atomic")
+	}
+
+	if err := d.Modify(dn,
+		Modification{Op: "add", Attr: "title", Value: "researcher"},
+		Modification{Op: "replace", Attr: "mail", Values: []string{"wp@gmd.de"}},
+		Modification{Op: "remove", Attr: "sn", Value: ""},
+	); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = d.Read(dn)
+	if !e.Attrs.Has("title", "researcher") || e.Attrs.First("mail") != "wp@gmd.de" || e.Attrs.Has("sn", "") {
+		t.Fatalf("modify result: %v", e.Attrs)
+	}
+}
+
+func TestSearchScopes(t *testing.T) {
+	d := seedDIT(t)
+	tests := []struct {
+		name  string
+		base  string
+		scope Scope
+		want  int
+	}{
+		{"base", "o=GMD", ScopeBase, 1},
+		{"one-level", "o=GMD", ScopeOneLevel, 2},
+		{"subtree", "o=GMD", ScopeSubtree, 6},
+		{"subtree root", "", ScopeSubtree, 9},
+		{"one-level root", "", ScopeOneLevel, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := d.Search(SearchRequest{Base: MustParseDN(tt.base), Scope: tt.scope})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tt.want {
+				var dns []string
+				for _, e := range got {
+					dns = append(dns, e.DN.String())
+				}
+				t.Fatalf("got %d entries %v, want %d", len(got), dns, tt.want)
+			}
+		})
+	}
+}
+
+func TestSearchFilter(t *testing.T) {
+	d := seedDIT(t)
+	got, err := d.Search(SearchRequest{
+		Base:   DN{},
+		Scope:  ScopeSubtree,
+		Filter: MustParseFilter("(&(objectclass=person)(mail=*))"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d persons with mail, want 3", len(got))
+	}
+}
+
+func TestSearchSizeLimit(t *testing.T) {
+	d := seedDIT(t)
+	got, err := d.Search(SearchRequest{Base: DN{}, Scope: ScopeSubtree, SizeLimit: 2})
+	if !errors.Is(err, ErrSizeLimit) {
+		t.Fatalf("err = %v, want ErrSizeLimit", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("partial result = %d entries, want 2", len(got))
+	}
+}
+
+func TestSearchBadBase(t *testing.T) {
+	d := seedDIT(t)
+	_, err := d.Search(SearchRequest{Base: MustParseDN("o=Nowhere")})
+	if !errors.Is(err, ErrNoSuchEntry) {
+		t.Fatalf("err = %v, want ErrNoSuchEntry", err)
+	}
+}
+
+func TestAliasDeref(t *testing.T) {
+	d := seedDIT(t)
+	got, err := d.Search(SearchRequest{
+		Base:         MustParseDN("cn=PrinzAlias"),
+		Scope:        ScopeBase,
+		Filter:       MustParseFilter("(cn=Prinz)"),
+		DerefAliases: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Attrs.First("mail") != "prinz@gmd.de" {
+		t.Fatalf("alias deref returned %v", got)
+	}
+	// Without deref the alias entry itself has no cn.
+	got, err = d.Search(SearchRequest{
+		Base:   MustParseDN("cn=PrinzAlias"),
+		Scope:  ScopeBase,
+		Filter: MustParseFilter("(cn=Prinz)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("filter matched alias without deref")
+	}
+}
+
+func TestAliasLoopDetected(t *testing.T) {
+	d := NewDIT()
+	if err := d.Add(MustParseDN("cn=A"), NewAttributes(AliasAttr, "cn=B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(MustParseDN("cn=B"), NewAttributes(AliasAttr, "cn=A")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Search(SearchRequest{Base: MustParseDN("cn=A"), Scope: ScopeBase, DerefAliases: true})
+	if !errors.Is(err, ErrAliasLoop) {
+		t.Fatalf("err = %v, want ErrAliasLoop", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	d := seedDIT(t)
+	kids, err := d.List(MustParseDN("o=GMD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 {
+		t.Fatalf("List(o=GMD) = %d entries", len(kids))
+	}
+	if _, err := d.List(MustParseDN("o=Nope")); !errors.Is(err, ErrNoSuchEntry) {
+		t.Fatalf("List missing: %v", err)
+	}
+}
+
+func TestChangelogAndApply(t *testing.T) {
+	master := seedDIT(t)
+	shadow := NewDIT()
+	for _, c := range master.Changes(0) {
+		if err := shadow.Apply(c); err != nil {
+			t.Fatalf("Apply seq %d: %v", c.Seq, err)
+		}
+	}
+	if shadow.Len() != master.Len() {
+		t.Fatalf("shadow has %d entries, master %d", shadow.Len(), master.Len())
+	}
+	// Incremental change propagates.
+	dn := MustParseDN("cn=Prinz,ou=CSCW,o=GMD")
+	if err := master.Modify(dn, Modification{Op: "add", Attr: "title", Value: "dr"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range master.Changes(shadow.LastSeq()) {
+		if err := shadow.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := shadow.Read(dn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Attrs.Has("title", "dr") {
+		t.Fatal("modify did not replicate")
+	}
+}
+
+func TestApplyRejectsGaps(t *testing.T) {
+	master := seedDIT(t)
+	shadow := NewDIT()
+	changes := master.Changes(0)
+	if err := shadow.Apply(changes[1]); !errors.Is(err, ErrBadChangeSeq) {
+		t.Fatalf("err = %v, want ErrBadChangeSeq", err)
+	}
+}
+
+func TestSnapshotLoad(t *testing.T) {
+	master := seedDIT(t)
+	entries, seq := master.Snapshot()
+	shadow := NewDIT()
+	if err := shadow.LoadSnapshot(entries, seq); err != nil {
+		t.Fatal(err)
+	}
+	if shadow.Len() != master.Len() || shadow.LastSeq() != seq {
+		t.Fatalf("snapshot load: len %d seq %d, want %d %d", shadow.Len(), shadow.LastSeq(), master.Len(), seq)
+	}
+	// Changes after a snapshot continue from seq.
+	if err := master.Add(MustParseDN("ou=New,o=GMD"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range master.Changes(seq) {
+		if err := shadow.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := shadow.Read(MustParseDN("ou=New,o=GMD")); err != nil {
+		t.Fatal("post-snapshot change did not apply")
+	}
+}
+
+func TestCompactLog(t *testing.T) {
+	master := seedDIT(t)
+	mid := master.LastSeq() / 2
+	master.CompactLog(mid)
+	changes := master.Changes(0)
+	for _, c := range changes {
+		if c.Seq <= mid {
+			t.Fatalf("compacted record seq %d still present", c.Seq)
+		}
+	}
+}
+
+func TestLargeTreeSearch(t *testing.T) {
+	d := NewDIT()
+	if err := d.Add(MustParseDN("o=Big"), nil); err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		dn := MustParseDN(fmt.Sprintf("cn=user%03d,o=Big", i))
+		attrs := PersonEntry(fmt.Sprintf("user%03d", i), "U", "")
+		attrs.Add("dept", []string{"eng", "sales", "hr"}[i%3])
+		if err := d.Add(dn, attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.Search(SearchRequest{
+		Base:   MustParseDN("o=Big"),
+		Scope:  ScopeSubtree,
+		Filter: MustParseFilter("(dept=eng)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (n + 2) / 3
+	if len(got) != want {
+		t.Fatalf("got %d eng entries, want %d", len(got), want)
+	}
+}

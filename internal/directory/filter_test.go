@@ -1,0 +1,181 @@
+package directory
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func personAttrs() Attributes {
+	return NewAttributes(
+		"objectclass", "person",
+		"cn", "Wolfgang Prinz",
+		"sn", "Prinz",
+		"ou", "CSCW",
+		"age", "35",
+		"mail", "prinz@gmd.de",
+	)
+}
+
+func TestFilterMatching(t *testing.T) {
+	a := personAttrs()
+	tests := []struct {
+		name   string
+		filter Filter
+		want   bool
+	}{
+		{"eq hit", Eq("cn", "Wolfgang Prinz"), true},
+		{"eq case-insensitive", Eq("CN", "wolfgang prinz"), true},
+		{"eq miss", Eq("cn", "Tom Rodden"), false},
+		{"present hit", Present("mail"), true},
+		{"present miss", Present("fax"), false},
+		{"substr prefix", Substr("cn", "Wolf*"), true},
+		{"substr infix", Substr("cn", "*gang*"), true},
+		{"substr multi-star", Substr("mail", "*@*.de"), true},
+		{"substr miss", Substr("cn", "Tom*"), false},
+		{"ge numeric hit", Ge("age", "30"), true},
+		{"ge numeric miss", Ge("age", "40"), false},
+		{"le numeric hit", Le("age", "35"), true},
+		{"le string", Le("sn", "Z"), true},
+		{"and hit", And(Eq("ou", "CSCW"), Present("mail")), true},
+		{"and miss", And(Eq("ou", "CSCW"), Present("fax")), false},
+		{"or hit", Or(Eq("ou", "ODP"), Eq("ou", "CSCW")), true},
+		{"or miss", Or(Eq("ou", "ODP"), Eq("ou", "HCI")), false},
+		{"not", Not(Eq("ou", "ODP")), true},
+		{"all", All(), true},
+		{"nested", And(Or(Eq("ou", "CSCW"), Eq("ou", "ODP")), Not(Present("fax"))), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.filter.Matches(a); got != tt.want {
+				t.Fatalf("%s.Matches = %v, want %v", tt.filter, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	a := personAttrs()
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"(cn=Wolfgang Prinz)", true},
+		{"(cn=wolf*)", true},
+		{"(mail=*)", true},
+		{"(fax=*)", false},
+		{"(age>=30)", true},
+		{"(age<=30)", false},
+		{"(&(objectclass=person)(ou=CSCW))", true},
+		{"(&(objectclass=person)(ou=ODP))", false},
+		{"(|(ou=ODP)(ou=CSCW))", true},
+		{"(!(ou=ODP))", true},
+		{"(&(|(ou=CSCW)(ou=ODP))(!(sn=Rodden)))", true},
+		{"(cn=\\(weird\\))", false}, // escaped parens parse, just don't match
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			f, err := ParseFilter(tt.in)
+			if err != nil {
+				t.Fatalf("ParseFilter(%q): %v", tt.in, err)
+			}
+			if got := f.Matches(a); got != tt.want {
+				t.Fatalf("%q matched %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "cn=x", "(cn=x", "(cn=x))", "(&)", "(|)", "(!)",
+		"(=x)", "(cn=)", "(cn>x)", "(cn<x)", "((cn=x))",
+	} {
+		if f, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) = %v, want error", bad, f)
+		}
+	}
+	if _, err := ParseFilter("(cn=x"); !errors.Is(err, ErrBadFilter) {
+		t.Fatal("error does not wrap ErrBadFilter")
+	}
+}
+
+func TestFilterStringRoundTrip(t *testing.T) {
+	filters := []Filter{
+		Eq("cn", "Prinz"),
+		Present("mail"),
+		Substr("cn", "W*z"),
+		Ge("age", "10"),
+		Le("age", "99"),
+		And(Eq("a", "1"), Or(Eq("b", "2"), Not(Present("c")))),
+	}
+	attrs := NewAttributes("cn", "Prinz", "mail", "x", "age", "50", "a", "1", "b", "2")
+	for _, f := range filters {
+		parsed, err := ParseFilter(f.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", f.String(), err)
+		}
+		if parsed.Matches(attrs) != f.Matches(attrs) {
+			t.Fatalf("round-trip changed semantics for %q", f.String())
+		}
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	tests := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"", "", true},
+		{"*", "", true},
+		{"*", "anything", true},
+		{"a*", "abc", true},
+		{"*c", "abc", true},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "acb", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"**", "x", true},
+	}
+	for _, tt := range tests {
+		if got := globMatch(tt.pattern, tt.s); got != tt.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", tt.pattern, tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestQuickParseFilterNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = ParseFilter(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNotInvolution(t *testing.T) {
+	attrs := personAttrs()
+	f := func(attr, val string) bool {
+		inner := Eq(attr, val)
+		return Not(Not(inner)).Matches(attrs) == inner.Matches(attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	attrs := personAttrs()
+	f := func(a1, v1, a2, v2 string) bool {
+		p, q := Eq(a1, v1), Eq(a2, v2)
+		lhs := Not(And(p, q)).Matches(attrs)
+		rhs := Or(Not(p), Not(q)).Matches(attrs)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+package directory
+
+import "encoding/json"
+
+// decodeJSON is a tiny indirection so server.go stays focused on protocol
+// logic.
+func decodeJSON(data []byte, v any) error { return json.Unmarshal(data, v) }

@@ -1,0 +1,391 @@
+// Package engineering models the ODP engineering viewpoint that §6.1
+// references: the machinery that supports distribution. Nodes host
+// capsules; capsules host clusters (the unit of migration and
+// checkpointing); clusters host basic engineering objects; and channels —
+// composed of stubs, a binder, and a protocol object — connect objects
+// across capsules.
+//
+// The package exists so the repository's "CSCW environment over ODP
+// environment" layering (figure 4) is real at every viewpoint: the
+// computational interactions of internal/rpc correspond to channels here,
+// and the transparency masks of internal/odp describe what a channel's
+// binder preserves across relocation (location/migration transparency is
+// demonstrated by Migrate + rebinding).
+package engineering
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mocca/internal/wire"
+)
+
+// Errors of the engineering layer.
+var (
+	ErrUnknownObject  = errors.New("engineering: unknown object")
+	ErrUnknownCluster = errors.New("engineering: unknown cluster")
+	ErrNotBound       = errors.New("engineering: channel not bound")
+	ErrStaleBinding   = errors.New("engineering: stale binding epoch")
+	ErrCapsuleDown    = errors.New("engineering: capsule failed")
+	ErrNameTaken      = errors.New("engineering: name already in use")
+)
+
+// Behaviour is the computational behaviour of a basic engineering object:
+// it services invocations against the object's state.
+type Behaviour func(state map[string]string, method string, arg []byte) ([]byte, error)
+
+// Object is a basic engineering object: identity, state, behaviour.
+type Object struct {
+	Name      string
+	state     map[string]string
+	behaviour Behaviour
+}
+
+// Node is a computing system with a nucleus that hosts capsules.
+type Node struct {
+	Name string
+
+	mu       sync.Mutex
+	capsules map[string]*Capsule
+}
+
+// NewNode creates a node.
+func NewNode(name string) *Node {
+	return &Node{Name: name, capsules: make(map[string]*Capsule)}
+}
+
+// NewCapsule creates a capsule (an encapsulated unit of processing and
+// storage) on this node.
+func (n *Node) NewCapsule(name string) (*Capsule, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.capsules[name]; ok {
+		return nil, fmt.Errorf("%w: capsule %q", ErrNameTaken, name)
+	}
+	c := &Capsule{
+		Name:     name,
+		node:     n,
+		clusters: make(map[string]*Cluster),
+		up:       true,
+	}
+	n.capsules[name] = c
+	return c, nil
+}
+
+// Capsules lists the node's capsule names, sorted.
+func (n *Node) Capsules() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.capsules))
+	for name := range n.capsules {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Capsule hosts clusters of objects. A capsule can fail (taking its
+// clusters with it) and recover.
+type Capsule struct {
+	Name string
+
+	node     *Node
+	mu       sync.Mutex
+	clusters map[string]*Cluster
+	up       bool
+}
+
+// Up reports whether the capsule is running.
+func (c *Capsule) Up() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.up
+}
+
+// SetDown fails (true) or recovers (false) the capsule. Failure does not
+// destroy state — this models a crash-recover capsule whose clusters are
+// restored from their last checkpoint by the nucleus.
+func (c *Capsule) SetDown(down bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.up = !down
+}
+
+// NewCluster creates a cluster (the unit of deactivation, checkpointing,
+// and migration) in this capsule.
+func (c *Capsule) NewCluster(name string) (*Cluster, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.clusters[name]; ok {
+		return nil, fmt.Errorf("%w: cluster %q", ErrNameTaken, name)
+	}
+	cl := &Cluster{Name: name, capsule: c, objects: make(map[string]*Object)}
+	c.clusters[name] = cl
+	return cl, nil
+}
+
+// Cluster groups objects that migrate and checkpoint together.
+type Cluster struct {
+	Name string
+
+	mu      sync.Mutex
+	capsule *Capsule
+	objects map[string]*Object
+	epoch   uint64 // bumped on every migration; binders validate it
+}
+
+// Capsule returns the cluster's current host capsule.
+func (cl *Cluster) Capsule() *Capsule {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.capsule
+}
+
+// Epoch returns the cluster's binding epoch.
+func (cl *Cluster) Epoch() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.epoch
+}
+
+// NewObject instantiates a basic engineering object in the cluster.
+func (cl *Cluster) NewObject(name string, behaviour Behaviour) (*Object, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if _, ok := cl.objects[name]; ok {
+		return nil, fmt.Errorf("%w: object %q", ErrNameTaken, name)
+	}
+	obj := &Object{Name: name, state: make(map[string]string), behaviour: behaviour}
+	cl.objects[name] = obj
+	return obj, nil
+}
+
+// invoke runs an object's behaviour if the hosting capsule is up and the
+// caller's binding epoch is current.
+func (cl *Cluster) invoke(objName string, epoch uint64, method string, arg []byte) ([]byte, error) {
+	cl.mu.Lock()
+	capsule := cl.capsule
+	obj, ok := cl.objects[objName]
+	curEpoch := cl.epoch
+	cl.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, objName)
+	}
+	if !capsule.Up() {
+		return nil, fmt.Errorf("%w: %q", ErrCapsuleDown, capsule.Name)
+	}
+	if epoch != curEpoch {
+		return nil, fmt.Errorf("%w: have %d, channel bound at %d", ErrStaleBinding, curEpoch, epoch)
+	}
+	if obj.behaviour == nil {
+		return nil, fmt.Errorf("%w: %q has no behaviour", ErrUnknownObject, objName)
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return obj.behaviour(obj.state, method, arg)
+}
+
+// Checkpoint captures the state of every object in the cluster.
+func (cl *Cluster) Checkpoint() map[string]map[string]string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make(map[string]map[string]string, len(cl.objects))
+	for name, obj := range cl.objects {
+		snap := make(map[string]string, len(obj.state))
+		for k, v := range obj.state {
+			snap[k] = v
+		}
+		out[name] = snap
+	}
+	return out
+}
+
+// Restore replaces object state from a checkpoint (objects missing from
+// the checkpoint keep their current state).
+func (cl *Cluster) Restore(checkpoint map[string]map[string]string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for name, snap := range checkpoint {
+		obj, ok := cl.objects[name]
+		if !ok {
+			continue
+		}
+		obj.state = make(map[string]string, len(snap))
+		for k, v := range snap {
+			obj.state[k] = v
+		}
+	}
+}
+
+// Migrate moves the cluster to another capsule, bumping the binding epoch:
+// channels bound before the move observe ErrStaleBinding and must rebind —
+// unless they requested migration transparency, in which case the channel
+// rebinds automatically (see Channel.Invoke).
+func (cl *Cluster) Migrate(target *Capsule) error {
+	cl.mu.Lock()
+	from := cl.capsule
+	cl.mu.Unlock()
+	if !target.Up() {
+		return fmt.Errorf("%w: target %q", ErrCapsuleDown, target.Name)
+	}
+
+	from.mu.Lock()
+	delete(from.clusters, cl.Name)
+	from.mu.Unlock()
+
+	target.mu.Lock()
+	if _, ok := target.clusters[cl.Name]; ok {
+		target.mu.Unlock()
+		// Roll back.
+		from.mu.Lock()
+		from.clusters[cl.Name] = cl
+		from.mu.Unlock()
+		return fmt.Errorf("%w: cluster %q at target", ErrNameTaken, cl.Name)
+	}
+	target.clusters[cl.Name] = cl
+	target.mu.Unlock()
+
+	cl.mu.Lock()
+	cl.capsule = target
+	cl.epoch++
+	cl.mu.Unlock()
+	return nil
+}
+
+// Channel connects a client to a server object through stub, binder, and
+// protocol objects. Create with Bind.
+type Channel struct {
+	mu sync.Mutex
+	// server side
+	cluster *Cluster
+	objName string
+	// binder state
+	epoch       uint64
+	transparent bool // migration transparency: rebind on epoch change
+	// stats
+	invocations int64
+	rebinds     int64
+}
+
+// BindOption configures a channel.
+type BindOption func(*Channel)
+
+// WithMigrationTransparency makes the channel rebind automatically when
+// the target cluster migrates, hiding relocation from the client.
+func WithMigrationTransparency() BindOption {
+	return func(ch *Channel) { ch.transparent = true }
+}
+
+// Bind establishes a channel to an object in a cluster. The binder records
+// the cluster's current epoch.
+func Bind(cluster *Cluster, objName string, opts ...BindOption) (*Channel, error) {
+	cluster.mu.Lock()
+	_, ok := cluster.objects[objName]
+	epoch := cluster.epoch
+	cluster.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, objName)
+	}
+	ch := &Channel{cluster: cluster, objName: objName, epoch: epoch}
+	for _, opt := range opts {
+		opt(ch)
+	}
+	return ch, nil
+}
+
+// Invoke sends an invocation through the channel: the stub frames the
+// request in a wire envelope, the binder validates the epoch, and the
+// protocol object delivers it to the server object's behaviour.
+func (ch *Channel) Invoke(method string, arg []byte) ([]byte, error) {
+	// Stub: marshal (round-tripping through the wire format keeps the
+	// engineering channel honest about what crosses capsule boundaries).
+	env := wire.NewEnvelope("eng.invoke", "", arg)
+	env.SetHeader("method", method)
+	framed, err := wire.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := wire.Unmarshal(framed)
+	if err != nil {
+		return nil, err
+	}
+	m, _ := decoded.Header("method")
+
+	ch.mu.Lock()
+	cluster := ch.cluster
+	objName := ch.objName
+	epoch := ch.epoch
+	transparent := ch.transparent
+	ch.invocations++
+	ch.mu.Unlock()
+
+	out, err := cluster.invoke(objName, epoch, m, decoded.Body)
+	if errors.Is(err, ErrStaleBinding) && transparent {
+		// Binder: re-establish against the cluster's new epoch.
+		ch.mu.Lock()
+		ch.epoch = cluster.Epoch()
+		ch.rebinds++
+		epoch = ch.epoch
+		ch.mu.Unlock()
+		out, err = cluster.invoke(objName, epoch, m, decoded.Body)
+	}
+	return out, err
+}
+
+// Rebind refreshes the channel's binding epoch explicitly (for channels
+// without migration transparency).
+func (ch *Channel) Rebind() {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.epoch = ch.cluster.Epoch()
+	ch.rebinds++
+}
+
+// Stats reports invocation and rebind counts.
+func (ch *Channel) Stats() (invocations, rebinds int64) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.invocations, ch.rebinds
+}
+
+// KVBehaviour is a ready-made behaviour implementing a tiny key-value
+// protocol: "set" with arg "k=v", "get" with arg "k", "keys" listing keys.
+func KVBehaviour() Behaviour {
+	return func(state map[string]string, method string, arg []byte) ([]byte, error) {
+		switch method {
+		case "set":
+			s := string(arg)
+			for i := 0; i < len(s); i++ {
+				if s[i] == '=' {
+					state[s[:i]] = s[i+1:]
+					return []byte("ok"), nil
+				}
+			}
+			return nil, errors.New("engineering: set needs k=v")
+		case "get":
+			v, ok := state[string(arg)]
+			if !ok {
+				return nil, fmt.Errorf("engineering: no key %q", arg)
+			}
+			return []byte(v), nil
+		case "keys":
+			keys := make([]string, 0, len(state))
+			for k := range state {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			out := ""
+			for i, k := range keys {
+				if i > 0 {
+					out += ","
+				}
+				out += k
+			}
+			return []byte(out), nil
+		default:
+			return nil, fmt.Errorf("engineering: unknown method %q", method)
+		}
+	}
+}

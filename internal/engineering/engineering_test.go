@@ -1,0 +1,243 @@
+package engineering
+
+import (
+	"errors"
+	"testing"
+)
+
+type engFixture struct {
+	nodeA, nodeB *Node
+	capA, capB   *Capsule
+	cluster      *Cluster
+}
+
+func newEngFixture(t *testing.T) *engFixture {
+	t.Helper()
+	f := &engFixture{}
+	f.nodeA = NewNode("site-a")
+	f.nodeB = NewNode("site-b")
+	var err error
+	if f.capA, err = f.nodeA.NewCapsule("capsule-a"); err != nil {
+		t.Fatal(err)
+	}
+	if f.capB, err = f.nodeB.NewCapsule("capsule-b"); err != nil {
+		t.Fatal(err)
+	}
+	if f.cluster, err = f.capA.NewCluster("kv-cluster"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = f.cluster.NewObject("store", KVBehaviour()); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBindAndInvoke(t *testing.T) {
+	f := newEngFixture(t)
+	ch, err := Bind(f.cluster, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Invoke("set", []byte("colour=blue")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ch.Invoke("get", []byte("colour"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "blue" {
+		t.Fatalf("get = %q", out)
+	}
+	if _, err := ch.Invoke("get", []byte("missing")); err == nil {
+		t.Fatal("get of missing key succeeded")
+	}
+	if _, err := ch.Invoke("bogus", nil); err == nil {
+		t.Fatal("unknown method succeeded")
+	}
+	inv, reb := ch.Stats()
+	if inv != 4 || reb != 0 {
+		t.Fatalf("stats = %d/%d", inv, reb)
+	}
+}
+
+func TestBindUnknownObject(t *testing.T) {
+	f := newEngFixture(t)
+	if _, err := Bind(f.cluster, "ghost"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNameCollisions(t *testing.T) {
+	f := newEngFixture(t)
+	if _, err := f.nodeA.NewCapsule("capsule-a"); !errors.Is(err, ErrNameTaken) {
+		t.Fatalf("capsule: %v", err)
+	}
+	if _, err := f.capA.NewCluster("kv-cluster"); !errors.Is(err, ErrNameTaken) {
+		t.Fatalf("cluster: %v", err)
+	}
+	if _, err := f.cluster.NewObject("store", nil); !errors.Is(err, ErrNameTaken) {
+		t.Fatalf("object: %v", err)
+	}
+}
+
+func TestCapsuleFailureBlocksInvocation(t *testing.T) {
+	f := newEngFixture(t)
+	ch, err := Bind(f.cluster, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.capA.SetDown(true)
+	if _, err := ch.Invoke("set", []byte("k=v")); !errors.Is(err, ErrCapsuleDown) {
+		t.Fatalf("err = %v", err)
+	}
+	f.capA.SetDown(false)
+	if _, err := ch.Invoke("set", []byte("k=v")); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+func TestMigrationStaleBindingWithoutTransparency(t *testing.T) {
+	f := newEngFixture(t)
+	ch, err := Bind(f.cluster, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Invoke("set", []byte("k=v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cluster.Migrate(f.capB); err != nil {
+		t.Fatal(err)
+	}
+	// The old binding is stale: the client must observe the relocation.
+	if _, err := ch.Invoke("get", []byte("k")); !errors.Is(err, ErrStaleBinding) {
+		t.Fatalf("err = %v, want ErrStaleBinding", err)
+	}
+	// Explicit rebind restores service; state travelled with the cluster.
+	ch.Rebind()
+	out, err := ch.Invoke("get", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "v1" {
+		t.Fatalf("state lost in migration: %q", out)
+	}
+	if f.cluster.Capsule() != f.capB {
+		t.Fatal("cluster not at target capsule")
+	}
+}
+
+func TestMigrationTransparencyRebindsAutomatically(t *testing.T) {
+	f := newEngFixture(t)
+	ch, err := Bind(f.cluster, "store", WithMigrationTransparency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Invoke("set", []byte("k=v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cluster.Migrate(f.capB); err != nil {
+		t.Fatal(err)
+	}
+	// Relocation is invisible: the channel rebinds under the covers.
+	out, err := ch.Invoke("get", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "v1" {
+		t.Fatalf("get after transparent migration = %q", out)
+	}
+	_, rebinds := ch.Stats()
+	if rebinds != 1 {
+		t.Fatalf("rebinds = %d, want 1", rebinds)
+	}
+}
+
+func TestMigrateToDownCapsuleRefused(t *testing.T) {
+	f := newEngFixture(t)
+	f.capB.SetDown(true)
+	if err := f.cluster.Migrate(f.capB); !errors.Is(err, ErrCapsuleDown) {
+		t.Fatalf("err = %v", err)
+	}
+	// Cluster stays where it was.
+	if f.cluster.Capsule() != f.capA {
+		t.Fatal("cluster moved despite refused migration")
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	f := newEngFixture(t)
+	ch, err := Bind(f.cluster, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Invoke("set", []byte("a=1")); err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := f.cluster.Checkpoint()
+	if _, err := ch.Invoke("set", []byte("a=2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Invoke("set", []byte("b=3")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash-recover: restore from the checkpoint.
+	f.cluster.Restore(checkpoint)
+	out, err := ch.Invoke("get", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "1" {
+		t.Fatalf("restored a = %q, want 1", out)
+	}
+	// Keys written after the checkpoint are rolled back only if the
+	// checkpoint recorded the object at all — "b" was not in it, so the
+	// restore replaced the whole object state and b is gone.
+	if _, err := ch.Invoke("get", []byte("b")); err == nil {
+		t.Fatal("post-checkpoint key survived restore")
+	}
+}
+
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	f := newEngFixture(t)
+	ch, _ := Bind(f.cluster, "store")
+	if _, err := ch.Invoke("set", []byte("a=1")); err != nil {
+		t.Fatal(err)
+	}
+	cp := f.cluster.Checkpoint()
+	cp["store"]["a"] = "tampered"
+	out, err := ch.Invoke("get", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "1" {
+		t.Fatal("checkpoint aliased live state")
+	}
+}
+
+func TestKeysMethod(t *testing.T) {
+	f := newEngFixture(t)
+	ch, _ := Bind(f.cluster, "store")
+	for _, kv := range []string{"z=1", "a=2", "m=3"} {
+		if _, err := ch.Invoke("set", []byte(kv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := ch.Invoke("keys", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out); got != "a,m,z" {
+		t.Fatalf("keys = %q", got)
+	}
+}
+
+func TestNodeCapsuleListing(t *testing.T) {
+	f := newEngFixture(t)
+	if _, err := f.nodeA.NewCapsule("capsule-x"); err != nil {
+		t.Fatal(err)
+	}
+	caps := f.nodeA.Capsules()
+	if len(caps) != 2 || caps[0] != "capsule-a" || caps[1] != "capsule-x" {
+		t.Fatalf("capsules = %v", caps)
+	}
+}

@@ -1,0 +1,320 @@
+// Package expertise implements the paper's User Expertise Model: "this
+// model is expressed in terms of user's responsibility, which is imposed by
+// the organisation and user's capabilities, which describes the users
+// individual skills."
+//
+// The environment uses it to staff activities (who CAN do this?) and to
+// audit coverage (who MUST do this, and can they?).
+package expertise
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mocca/internal/org"
+)
+
+// Level grades a capability from novice to authority.
+type Level int
+
+// Capability levels.
+const (
+	LevelNovice Level = iota + 1
+	LevelCompetent
+	LevelProficient
+	LevelExpert
+	LevelAuthority
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNovice:
+		return "novice"
+	case LevelCompetent:
+		return "competent"
+	case LevelProficient:
+		return "proficient"
+	case LevelExpert:
+		return "expert"
+	case LevelAuthority:
+		return "authority"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Capability is an individual skill at a level.
+type Capability struct {
+	Skill string
+	Level Level
+}
+
+// Responsibility is organisation-imposed: the Source records where it came
+// from (typically a role id in the org model).
+type Responsibility struct {
+	Name   string
+	Source string
+}
+
+// Profile is one user's expertise record.
+type Profile struct {
+	User             string
+	Capabilities     map[string]Level // skill -> level
+	Responsibilities []Responsibility
+}
+
+// clone deep-copies the profile.
+func (p *Profile) clone() *Profile {
+	out := &Profile{
+		User:             p.User,
+		Capabilities:     make(map[string]Level, len(p.Capabilities)),
+		Responsibilities: append([]Responsibility(nil), p.Responsibilities...),
+	}
+	for k, v := range p.Capabilities {
+		out.Capabilities[k] = v
+	}
+	return out
+}
+
+// ErrUnknownUser reports a missing profile.
+var ErrUnknownUser = errors.New("expertise: unknown user")
+
+// Model stores expertise profiles and the skill requirements of
+// responsibilities. Safe for concurrent use.
+type Model struct {
+	mu           sync.RWMutex
+	profiles     map[string]*Profile
+	requirements map[string]map[string]Level // responsibility -> skill -> min level
+}
+
+// NewModel creates an empty model.
+func NewModel() *Model {
+	return &Model{
+		profiles:     make(map[string]*Profile),
+		requirements: make(map[string]map[string]Level),
+	}
+}
+
+// ensureLocked returns (creating if needed) the profile for user.
+func (m *Model) ensureLocked(user string) *Profile {
+	p, ok := m.profiles[user]
+	if !ok {
+		p = &Profile{User: user, Capabilities: make(map[string]Level)}
+		m.profiles[user] = p
+	}
+	return p
+}
+
+// SetCapability records a skill level (level 0 removes the skill).
+func (m *Model) SetCapability(user, skill string, level Level) {
+	skill = strings.ToLower(skill)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.ensureLocked(user)
+	if level <= 0 {
+		delete(p.Capabilities, skill)
+		return
+	}
+	p.Capabilities[skill] = level
+}
+
+// AddResponsibility imposes a responsibility (idempotent per name+source).
+func (m *Model) AddResponsibility(user, name, source string) {
+	name = strings.ToLower(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.ensureLocked(user)
+	for _, r := range p.Responsibilities {
+		if r.Name == name && r.Source == source {
+			return
+		}
+	}
+	p.Responsibilities = append(p.Responsibilities, Responsibility{Name: name, Source: source})
+}
+
+// RemoveResponsibility lifts a responsibility.
+func (m *Model) RemoveResponsibility(user, name string) {
+	name = strings.ToLower(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.profiles[user]
+	if !ok {
+		return
+	}
+	keep := p.Responsibilities[:0]
+	for _, r := range p.Responsibilities {
+		if r.Name != name {
+			keep = append(keep, r)
+		}
+	}
+	p.Responsibilities = keep
+}
+
+// Profile returns a copy of the user's profile.
+func (m *Model) Profile(user string) (*Profile, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, ok := m.profiles[user]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	return p.clone(), nil
+}
+
+// RequireSkill declares that a responsibility needs a skill at min level.
+func (m *Model) RequireSkill(responsibility, skill string, min Level) {
+	responsibility = strings.ToLower(responsibility)
+	skill = strings.ToLower(skill)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.requirements[responsibility] == nil {
+		m.requirements[responsibility] = make(map[string]Level)
+	}
+	m.requirements[responsibility][skill] = min
+}
+
+// FindCapable returns users holding the skill at >= min, ranked by level
+// descending then name.
+func (m *Model) FindCapable(skill string, min Level) []string {
+	skill = strings.ToLower(skill)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	type ranked struct {
+		user  string
+		level Level
+	}
+	var rs []ranked
+	for user, p := range m.profiles {
+		if lvl, ok := p.Capabilities[skill]; ok && lvl >= min {
+			rs = append(rs, ranked{user, lvl})
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].level != rs[j].level {
+			return rs[i].level > rs[j].level
+		}
+		return rs[i].user < rs[j].user
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.user
+	}
+	return out
+}
+
+// Requirement describes one skill requirement for matching.
+type Requirement struct {
+	Skill string
+	Min   Level
+}
+
+// Match scores users against a requirement set: the score is the number of
+// requirements met; ties break by total level surplus, then name. Users
+// meeting no requirement are omitted.
+func (m *Model) Match(reqs []Requirement) []MatchResult {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []MatchResult
+	for user, p := range m.profiles {
+		met, surplus := 0, 0
+		for _, req := range reqs {
+			lvl, ok := p.Capabilities[strings.ToLower(req.Skill)]
+			if ok && lvl >= req.Min {
+				met++
+				surplus += int(lvl - req.Min)
+			}
+		}
+		if met > 0 {
+			out = append(out, MatchResult{User: user, Met: met, Total: len(reqs), Surplus: surplus})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Met != out[j].Met {
+			return out[i].Met > out[j].Met
+		}
+		if out[i].Surplus != out[j].Surplus {
+			return out[i].Surplus > out[j].Surplus
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// MatchResult ranks one user against a requirement set.
+type MatchResult struct {
+	User    string
+	Met     int
+	Total   int
+	Surplus int
+}
+
+// Gap reports a responsibility whose holder lacks a required skill.
+type Gap struct {
+	User           string
+	Responsibility string
+	Skill          string
+	Need           Level
+	Have           Level // 0 when absent
+}
+
+// Gaps audits every profile against the declared skill requirements of its
+// responsibilities — the "can the people who MUST do this actually do it?"
+// check.
+func (m *Model) Gaps() []Gap {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Gap
+	for user, p := range m.profiles {
+		for _, resp := range p.Responsibilities {
+			for skill, need := range m.requirements[resp.Name] {
+				have := p.Capabilities[skill]
+				if have < need {
+					out = append(out, Gap{
+						User:           user,
+						Responsibility: resp.Name,
+						Skill:          skill,
+						Need:           need,
+						Have:           have,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		if out[i].Responsibility != out[j].Responsibility {
+			return out[i].Responsibility < out[j].Responsibility
+		}
+		return out[i].Skill < out[j].Skill
+	})
+	return out
+}
+
+// ImportResponsibilities derives organisation-imposed responsibilities from
+// the org model: every role a person fills becomes a responsibility sourced
+// from that role.
+func (m *Model) ImportResponsibilities(kb *org.KnowledgeBase) {
+	for _, person := range kb.ObjectsByKind(org.KindPerson) {
+		for _, roleID := range kb.RolesFilledBy(person.ID) {
+			m.AddResponsibility(person.ID, roleID, "org:"+roleID)
+		}
+	}
+}
+
+// Users lists all profiled users, sorted.
+func (m *Model) Users() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.profiles))
+	for u := range m.profiles {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

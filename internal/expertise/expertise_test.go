@@ -1,0 +1,160 @@
+package expertise
+
+import (
+	"errors"
+	"testing"
+
+	"mocca/internal/org"
+)
+
+func newSkilledModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	m.SetCapability("ada", "tunnel-engineering", LevelExpert)
+	m.SetCapability("ada", "project-management", LevelProficient)
+	m.SetCapability("ben", "tunnel-engineering", LevelCompetent)
+	m.SetCapability("ben", "geology", LevelExpert)
+	m.SetCapability("carol", "project-management", LevelAuthority)
+	return m
+}
+
+func TestProfileCRUD(t *testing.T) {
+	m := newSkilledModel(t)
+	p, err := m.Profile("ada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Capabilities["tunnel-engineering"] != LevelExpert {
+		t.Fatalf("profile = %+v", p)
+	}
+	// Returned profile is a copy.
+	p.Capabilities["tunnel-engineering"] = LevelNovice
+	again, _ := m.Profile("ada")
+	if again.Capabilities["tunnel-engineering"] != LevelExpert {
+		t.Fatal("Profile returned aliased storage")
+	}
+	if _, err := m.Profile("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("ghost err = %v", err)
+	}
+	// Level 0 removes.
+	m.SetCapability("ada", "tunnel-engineering", 0)
+	p2, _ := m.Profile("ada")
+	if _, ok := p2.Capabilities["tunnel-engineering"]; ok {
+		t.Fatal("level 0 did not remove skill")
+	}
+}
+
+func TestFindCapableRanked(t *testing.T) {
+	m := newSkilledModel(t)
+	got := m.FindCapable("tunnel-engineering", LevelCompetent)
+	if len(got) != 2 || got[0] != "ada" || got[1] != "ben" {
+		t.Fatalf("capable = %v", got)
+	}
+	got = m.FindCapable("tunnel-engineering", LevelExpert)
+	if len(got) != 1 || got[0] != "ada" {
+		t.Fatalf("experts = %v", got)
+	}
+	if got := m.FindCapable("basket-weaving", LevelNovice); len(got) != 0 {
+		t.Fatalf("unknown skill = %v", got)
+	}
+}
+
+func TestMatchRanking(t *testing.T) {
+	m := newSkilledModel(t)
+	reqs := []Requirement{
+		{Skill: "tunnel-engineering", Min: LevelCompetent},
+		{Skill: "project-management", Min: LevelCompetent},
+	}
+	got := m.Match(reqs)
+	if len(got) != 3 {
+		t.Fatalf("matches = %+v", got)
+	}
+	// ada meets both; ben and carol meet one each; carol's surplus on
+	// project-management (authority - competent = 3) beats ben's surplus
+	// on tunnel-engineering (competent - competent = 0).
+	if got[0].User != "ada" || got[0].Met != 2 {
+		t.Fatalf("first = %+v", got[0])
+	}
+	if got[1].User != "carol" || got[2].User != "ben" {
+		t.Fatalf("tie-break order = %v, %v", got[1], got[2])
+	}
+}
+
+func TestResponsibilitiesAndGaps(t *testing.T) {
+	m := newSkilledModel(t)
+	m.AddResponsibility("ben", "chief-engineer", "org:chief-engineer")
+	m.RequireSkill("chief-engineer", "tunnel-engineering", LevelExpert)
+	m.RequireSkill("chief-engineer", "project-management", LevelCompetent)
+
+	gaps := m.Gaps()
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %+v", gaps)
+	}
+	// ben is competent (needs expert) and lacks project-management.
+	for _, g := range gaps {
+		if g.User != "ben" || g.Responsibility != "chief-engineer" {
+			t.Fatalf("gap = %+v", g)
+		}
+	}
+	// Upskilling closes gaps.
+	m.SetCapability("ben", "tunnel-engineering", LevelExpert)
+	m.SetCapability("ben", "project-management", LevelCompetent)
+	if gaps := m.Gaps(); len(gaps) != 0 {
+		t.Fatalf("gaps after upskilling = %+v", gaps)
+	}
+}
+
+func TestAddResponsibilityIdempotent(t *testing.T) {
+	m := NewModel()
+	m.AddResponsibility("x", "r", "src")
+	m.AddResponsibility("x", "r", "src")
+	p, _ := m.Profile("x")
+	if len(p.Responsibilities) != 1 {
+		t.Fatalf("responsibilities = %v", p.Responsibilities)
+	}
+	m.RemoveResponsibility("x", "r")
+	p, _ = m.Profile("x")
+	if len(p.Responsibilities) != 0 {
+		t.Fatal("remove failed")
+	}
+	// Removing from an unknown user is a no-op.
+	m.RemoveResponsibility("ghost", "r")
+}
+
+func TestImportFromOrgModel(t *testing.T) {
+	kb := org.NewKnowledgeBase()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(kb.AddObject(org.Object{ID: "gmd", Kind: org.KindOrg}))
+	must(kb.AddObject(org.Object{ID: "prinz", Kind: org.KindPerson, Org: "gmd"}))
+	must(kb.AddObject(org.Object{ID: "group-leader", Kind: org.KindRole, Org: "gmd"}))
+	must(kb.Relate("prinz", org.RelFills, "group-leader"))
+
+	m := NewModel()
+	m.ImportResponsibilities(kb)
+	p, err := m.Profile("prinz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Responsibilities) != 1 || p.Responsibilities[0].Name != "group-leader" {
+		t.Fatalf("imported = %+v", p.Responsibilities)
+	}
+	// Re-import stays idempotent.
+	m.ImportResponsibilities(kb)
+	p, _ = m.Profile("prinz")
+	if len(p.Responsibilities) != 1 {
+		t.Fatal("re-import duplicated responsibilities")
+	}
+}
+
+func TestUsers(t *testing.T) {
+	m := newSkilledModel(t)
+	got := m.Users()
+	if len(got) != 3 || got[0] != "ada" || got[2] != "carol" {
+		t.Fatalf("users = %v", got)
+	}
+}

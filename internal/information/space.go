@@ -1,0 +1,439 @@
+package information
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mocca/internal/access"
+	"mocca/internal/id"
+	"mocca/internal/vclock"
+)
+
+// Object is a shared information object.
+type Object struct {
+	ID      string
+	Schema  string
+	Owner   string
+	Fields  map[string]string
+	Version uint64
+	Created time.Time
+	Updated time.Time
+}
+
+// clone deep-copies the object.
+func (o *Object) clone() *Object {
+	out := *o
+	out.Fields = cloneFields(o.Fields)
+	return &out
+}
+
+// RelKind is an inter-object relationship, per the paper's "composition,
+// dependencies".
+type RelKind string
+
+// Relationship kinds.
+const (
+	RelComposedOf  RelKind = "composed-of" // parent -> part
+	RelDependsOn   RelKind = "depends-on"  // dependent -> dependency
+	RelDerivedFrom RelKind = "derived-from"
+)
+
+// Errors of the space layer.
+var (
+	ErrUnknownObject = errors.New("information: unknown object")
+	ErrDenied        = errors.New("information: access denied")
+	ErrConflict      = errors.New("information: version conflict")
+	ErrCycle         = errors.New("information: relationship cycle")
+)
+
+// Event notifies subscribers of a change.
+type Event struct {
+	Kind   string // "put", "update", "share", "relate"
+	Object *Object
+	Actor  string
+	At     time.Time
+}
+
+// Space is the shared information space: guarded storage, relationships,
+// schema conversion, and change notification.
+type Space struct {
+	registry *SchemaRegistry
+	acl      *access.System
+	clock    vclock.Clock
+	ids      *id.Generator
+
+	mu        sync.RWMutex
+	objects   map[string]*Object
+	relations map[string]map[RelKind][]string // from -> kind -> to ids
+	subs      []subscription
+	stats     SpaceStats
+}
+
+// SpaceStats counts space activity.
+type SpaceStats struct {
+	Puts     int64
+	Updates  int64
+	Reads    int64
+	Denials  int64
+	Notifies int64
+}
+
+type subscription struct {
+	schema string // "" = all
+	fn     func(Event)
+}
+
+// SpaceOption configures a Space.
+type SpaceOption func(*Space)
+
+// WithIDs sets the id generator.
+func WithIDs(g *id.Generator) SpaceOption {
+	return func(s *Space) { s.ids = g }
+}
+
+// NewSpace creates a space over the given schema registry and ACL system.
+// A nil acl disables access control (everything allowed).
+func NewSpace(registry *SchemaRegistry, acl *access.System, clock vclock.Clock, opts ...SpaceOption) *Space {
+	s := &Space{
+		registry:  registry,
+		acl:       acl,
+		clock:     clock,
+		objects:   make(map[string]*Object),
+		relations: make(map[string]map[RelKind][]string),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.ids == nil {
+		s.ids = id.New()
+	}
+	return s
+}
+
+// Registry exposes the schema registry.
+func (s *Space) Registry() *SchemaRegistry { return s.registry }
+
+// Stats returns a snapshot of the counters.
+func (s *Space) Stats() SpaceStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// resource names the guarded resource for an object id.
+func resource(objID string) string { return "info/" + objID }
+
+// can checks the ACL (nil ACL admits everything).
+func (s *Space) can(principal string, op access.Op, objID string) bool {
+	if s.acl == nil {
+		return true
+	}
+	return s.acl.Can(principal, op, resource(objID))
+}
+
+// Put creates an object owned by actor, validating against its schema. The
+// owner receives read/write/share grants on it.
+func (s *Space) Put(actor, schemaName string, fields map[string]string) (*Object, error) {
+	schema, err := s.registry.Schema(schemaName)
+	if err != nil {
+		return nil, err
+	}
+	if err := schema.Validate(fields); err != nil {
+		return nil, err
+	}
+	now := s.clock.Now()
+	obj := &Object{
+		ID:      s.ids.Next("info"),
+		Schema:  schema.Name,
+		Owner:   actor,
+		Fields:  cloneFields(fields),
+		Version: 1,
+		Created: now,
+		Updated: now,
+	}
+	s.mu.Lock()
+	s.objects[obj.ID] = obj
+	s.stats.Puts++
+	s.mu.Unlock()
+
+	if s.acl != nil {
+		s.acl.GrantPrincipal(actor, access.OpRead, resource(obj.ID))
+		s.acl.GrantPrincipal(actor, access.OpWrite, resource(obj.ID))
+		s.acl.GrantPrincipal(actor, access.OpShare, resource(obj.ID))
+	}
+	s.notify(Event{Kind: "put", Object: obj.clone(), Actor: actor, At: now})
+	return obj.clone(), nil
+}
+
+// Get reads an object, enforcing OpRead.
+func (s *Space) Get(actor, objID string) (*Object, error) {
+	if !s.can(actor, access.OpRead, objID) {
+		s.deny()
+		return nil, fmt.Errorf("%w: %s read %s", ErrDenied, actor, objID)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[objID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, objID)
+	}
+	s.stats.Reads++
+	return obj.clone(), nil
+}
+
+// GetAs reads an object converted into the requested schema — the
+// cross-application sharing primitive.
+func (s *Space) GetAs(actor, objID, schemaName string) (*Object, error) {
+	obj, err := s.Get(actor, objID)
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(obj.Schema, schemaName) {
+		return obj, nil
+	}
+	fields, err := s.registry.Convert(obj.Fields, obj.Schema, schemaName)
+	if err != nil {
+		return nil, err
+	}
+	out := obj.clone()
+	out.Schema = strings.ToLower(schemaName)
+	out.Fields = fields
+	return out, nil
+}
+
+// Update modifies fields with optimistic concurrency: expectedVersion must
+// match or ErrConflict returns. Enforces OpWrite.
+func (s *Space) Update(actor, objID string, expectedVersion uint64, fields map[string]string) (*Object, error) {
+	if !s.can(actor, access.OpWrite, objID) {
+		s.deny()
+		return nil, fmt.Errorf("%w: %s write %s", ErrDenied, actor, objID)
+	}
+	s.mu.Lock()
+	obj, ok := s.objects[objID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, objID)
+	}
+	if obj.Version != expectedVersion {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: object at v%d, expected v%d", ErrConflict, obj.Version, expectedVersion)
+	}
+	schema, err := s.registry.Schema(obj.Schema)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	merged := cloneFields(obj.Fields)
+	for k, v := range fields {
+		if v == "" {
+			delete(merged, k)
+			continue
+		}
+		merged[k] = v
+	}
+	if err := schema.Validate(merged); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	obj.Fields = merged
+	obj.Version++
+	obj.Updated = s.clock.Now()
+	s.stats.Updates++
+	updated := obj.clone()
+	s.mu.Unlock()
+
+	s.notify(Event{Kind: "update", Object: updated, Actor: actor, At: updated.Updated})
+	return updated, nil
+}
+
+// Share grants another principal read access (and optionally write),
+// enforcing OpShare on the actor.
+func (s *Space) Share(actor, objID, grantee string, writable bool) error {
+	if !s.can(actor, access.OpShare, objID) {
+		s.deny()
+		return fmt.Errorf("%w: %s share %s", ErrDenied, actor, objID)
+	}
+	s.mu.RLock()
+	obj, ok := s.objects[objID]
+	var snapshot *Object
+	if ok {
+		snapshot = obj.clone()
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, objID)
+	}
+	if s.acl != nil {
+		s.acl.GrantPrincipal(grantee, access.OpRead, resource(objID))
+		if writable {
+			s.acl.GrantPrincipal(grantee, access.OpWrite, resource(objID))
+		}
+	}
+	s.notify(Event{Kind: "share", Object: snapshot, Actor: actor, At: s.clock.Now()})
+	return nil
+}
+
+// Relate records a typed relationship; composition and dependency must stay
+// acyclic.
+func (s *Space) Relate(from string, kind RelKind, to string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, from)
+	}
+	if _, ok := s.objects[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, to)
+	}
+	if s.reachableLocked(to, kind, from) || from == to {
+		return fmt.Errorf("%w: %s -[%s]-> %s", ErrCycle, from, kind, to)
+	}
+	if s.relations[from] == nil {
+		s.relations[from] = make(map[RelKind][]string)
+	}
+	for _, existing := range s.relations[from][kind] {
+		if existing == to {
+			return nil
+		}
+	}
+	s.relations[from][kind] = append(s.relations[from][kind], to)
+	return nil
+}
+
+// Related returns directly related object ids.
+func (s *Space) Related(from string, kind RelKind) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]string(nil), s.relations[from][kind]...)
+	sort.Strings(out)
+	return out
+}
+
+// Dependents returns ids of objects that relate TO the given id over kind
+// (e.g. everything that depends-on it).
+func (s *Space) Dependents(to string, kind RelKind) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for from, kinds := range s.relations {
+		for _, t := range kinds[kind] {
+			if t == to {
+				out = append(out, from)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Closure returns all objects transitively reachable from id over kind.
+func (s *Space) Closure(from string, kind RelKind) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		next := append([]string(nil), s.relations[cur][kind]...)
+		sort.Strings(next)
+		for _, n := range next {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+				queue = append(queue, n)
+			}
+		}
+	}
+	return out
+}
+
+// reachableLocked reports whether target is reachable from start over kind.
+func (s *Space) reachableLocked(start string, kind RelKind, target string) bool {
+	seen := map[string]bool{}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == target {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		queue = append(queue, s.relations[cur][kind]...)
+	}
+	return false
+}
+
+// Query returns copies of objects of the given schema whose fields contain
+// all the given key/value pairs (empty filter = all of that schema).
+func (s *Space) Query(actor, schemaName string, filter map[string]string) ([]*Object, error) {
+	s.mu.RLock()
+	var candidates []*Object
+	for _, obj := range s.objects {
+		if !strings.EqualFold(obj.Schema, schemaName) {
+			continue
+		}
+		match := true
+		for k, v := range filter {
+			if obj.Fields[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			candidates = append(candidates, obj.clone())
+		}
+	}
+	s.mu.RUnlock()
+
+	out := candidates[:0]
+	for _, obj := range candidates {
+		if s.can(actor, access.OpRead, obj.ID) {
+			out = append(out, obj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Subscribe registers fn for events on objects of the schema ("" = all).
+// Callbacks run synchronously on the mutating goroutine.
+func (s *Space) Subscribe(schemaName string, fn func(Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, subscription{schema: strings.ToLower(schemaName), fn: fn})
+}
+
+// Len returns the number of stored objects.
+func (s *Space) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+func (s *Space) notify(ev Event) {
+	s.mu.RLock()
+	subs := append([]subscription(nil), s.subs...)
+	s.mu.RUnlock()
+	for _, sub := range subs {
+		if sub.schema == "" || (ev.Object != nil && sub.schema == ev.Object.Schema) {
+			s.mu.Lock()
+			s.stats.Notifies++
+			s.mu.Unlock()
+			sub.fn(ev)
+		}
+	}
+}
+
+func (s *Space) deny() {
+	s.mu.Lock()
+	s.stats.Denials++
+	s.mu.Unlock()
+}

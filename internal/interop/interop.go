@@ -1,0 +1,317 @@
+// Package interop is the experimental harness behind figures 2 and 3 of
+// the paper. It builds two worlds of N synthetic CSCW applications:
+//
+//   - Isolated (figure 2): applications integrate pairwise; exchanging a
+//     document from app A to app B requires a direct A->B adapter. Full
+//     interoperability needs N·(N-1) adapters, and any missing adapter is
+//     a failed exchange.
+//
+//   - Environment (figure 3): applications register once with the shared
+//     environment (schema + to/from the interchange representation: 2
+//     converters per app). Any pair interoperates through the environment
+//     with no pairwise code.
+//
+// The benchmarks compare adapter counts (O(N²) vs O(N)) and exchange
+// success rates under partial integration effort.
+package interop
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mocca/internal/information"
+)
+
+// ErrNoAdapter reports a missing pairwise adapter in the isolated world.
+var ErrNoAdapter = errors.New("interop: no adapter between applications")
+
+// Adapter converts a document between two applications' native formats.
+type Adapter func(map[string]string) (map[string]string, error)
+
+// AppSpec describes one synthetic application.
+type AppSpec struct {
+	Name       string
+	TitleField string
+	BodyField  string
+}
+
+// SyntheticApps builds N application specs with distinct native field
+// names, mimicking independently-developed CSCW tools.
+func SyntheticApps(n int) []AppSpec {
+	out := make([]AppSpec, n)
+	for i := range out {
+		out[i] = AppSpec{
+			Name:       fmt.Sprintf("app-%02d", i),
+			TitleField: fmt.Sprintf("a%02d_title", i),
+			BodyField:  fmt.Sprintf("a%02d_body", i),
+		}
+	}
+	return out
+}
+
+// Document builds a native document for the given app.
+func (a AppSpec) Document(title, body string) map[string]string {
+	return map[string]string{a.TitleField: title, a.BodyField: body}
+}
+
+// --- Figure 2: isolated applications --------------------------------------
+
+// IsolatedWorld wires applications pairwise.
+type IsolatedWorld struct {
+	mu       sync.RWMutex
+	apps     map[string]AppSpec
+	adapters map[[2]string]Adapter
+	stats    Stats
+}
+
+// Stats counts exchanges.
+type Stats struct {
+	Attempted int64
+	Succeeded int64
+	Failed    int64
+}
+
+// NewIsolatedWorld creates an empty isolated world.
+func NewIsolatedWorld() *IsolatedWorld {
+	return &IsolatedWorld{
+		apps:     make(map[string]AppSpec),
+		adapters: make(map[[2]string]Adapter),
+	}
+}
+
+// AddApp installs an application.
+func (w *IsolatedWorld) AddApp(spec AppSpec) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.apps[spec.Name] = spec
+}
+
+// AddAdapter installs a one-directional pairwise adapter.
+func (w *IsolatedWorld) AddAdapter(from, to string, fn Adapter) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.adapters[[2]string{from, to}] = fn
+}
+
+// AdapterCount reports how many pairwise adapters were written.
+func (w *IsolatedWorld) AdapterCount() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.adapters)
+}
+
+// Stats returns a snapshot.
+func (w *IsolatedWorld) Stats() Stats {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.stats
+}
+
+// Exchange moves a document from one app to another. Isolated applications
+// cannot chain through third parties — they do not know the other
+// applications exist (figure 2) — so only a direct adapter works.
+func (w *IsolatedWorld) Exchange(from, to string, doc map[string]string) (map[string]string, error) {
+	w.mu.Lock()
+	w.stats.Attempted++
+	fn, ok := w.adapters[[2]string{from, to}]
+	if !ok {
+		w.stats.Failed++
+		w.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoAdapter, from, to)
+	}
+	w.mu.Unlock()
+	out, err := fn(doc)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		w.stats.Failed++
+		return nil, err
+	}
+	w.stats.Succeeded++
+	return out, nil
+}
+
+// BuildIsolated constructs a figure-2 world over the given apps, writing a
+// direct adapter for the given fraction of ordered pairs (coverage 1.0 =
+// every pair integrated; realistic deployments sit far below). The rng
+// decides which pairs get adapters, deterministically per seed.
+func BuildIsolated(apps []AppSpec, coverage float64, seed int64) *IsolatedWorld {
+	w := NewIsolatedWorld()
+	rng := rand.New(rand.NewSource(seed))
+	for _, a := range apps {
+		w.AddApp(a)
+	}
+	for _, from := range apps {
+		for _, to := range apps {
+			if from.Name == to.Name {
+				continue
+			}
+			if coverage < 1.0 && rng.Float64() >= coverage {
+				continue
+			}
+			src, dst := from, to
+			w.AddAdapter(src.Name, dst.Name, func(doc map[string]string) (map[string]string, error) {
+				return map[string]string{
+					dst.TitleField: doc[src.TitleField],
+					dst.BodyField:  doc[src.BodyField],
+				}, nil
+			})
+		}
+	}
+	return w
+}
+
+// --- Figure 3: environment-mediated --------------------------------------
+
+// EnvironmentWorld routes every exchange through the shared information
+// model: one schema + two converters per application.
+type EnvironmentWorld struct {
+	registry *information.SchemaRegistry
+	mu       sync.RWMutex
+	apps     map[string]AppSpec
+	stats    Stats
+}
+
+// SharedSchema is the interchange representation of the harness.
+const SharedSchema = "interop-shared"
+
+// NewEnvironmentWorld creates the figure-3 world.
+func NewEnvironmentWorld() *EnvironmentWorld {
+	registry := information.NewSchemaRegistry()
+	if err := registry.Register(information.Schema{
+		Name: SharedSchema,
+		Fields: []information.Field{
+			{Name: "title", Type: information.FieldText},
+			{Name: "body", Type: information.FieldText},
+		},
+	}); err != nil {
+		panic(err) // static; cannot fail
+	}
+	return &EnvironmentWorld{
+		registry: registry,
+		apps:     make(map[string]AppSpec),
+	}
+}
+
+// RegisterApp admits an application: one schema registration plus its two
+// interchange converters — the entire integration cost in figure 3.
+func (w *EnvironmentWorld) RegisterApp(spec AppSpec) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.registry.Register(information.Schema{
+		Name: spec.Name,
+		Fields: []information.Field{
+			{Name: spec.TitleField, Type: information.FieldText},
+			{Name: spec.BodyField, Type: information.FieldText},
+		},
+	}); err != nil {
+		return err
+	}
+	s := spec
+	if err := w.registry.AddConverter(information.Converter{
+		From: s.Name, To: SharedSchema,
+		Fn: func(doc map[string]string) (map[string]string, error) {
+			return map[string]string{"title": doc[s.TitleField], "body": doc[s.BodyField]}, nil
+		},
+	}); err != nil {
+		return err
+	}
+	if err := w.registry.AddConverter(information.Converter{
+		From: SharedSchema, To: s.Name,
+		Fn: func(doc map[string]string) (map[string]string, error) {
+			return map[string]string{s.TitleField: doc["title"], s.BodyField: doc["body"]}, nil
+		},
+	}); err != nil {
+		return err
+	}
+	w.apps[spec.Name] = spec
+	return nil
+}
+
+// AdapterCount reports converters registered (2 per app).
+func (w *EnvironmentWorld) AdapterCount() int {
+	return w.registry.ConverterCount()
+}
+
+// Stats returns a snapshot.
+func (w *EnvironmentWorld) Stats() Stats {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.stats
+}
+
+// Exchange converts a document between any two registered apps via the
+// interchange schema.
+func (w *EnvironmentWorld) Exchange(from, to string, doc map[string]string) (map[string]string, error) {
+	w.mu.Lock()
+	w.stats.Attempted++
+	w.mu.Unlock()
+	out, err := w.registry.Convert(doc, from, to)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		w.stats.Failed++
+		return nil, err
+	}
+	w.stats.Succeeded++
+	return out, nil
+}
+
+// BuildEnvironment constructs a figure-3 world over the given apps.
+func BuildEnvironment(apps []AppSpec) (*EnvironmentWorld, error) {
+	w := NewEnvironmentWorld()
+	for _, a := range apps {
+		if err := w.RegisterApp(a); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// --- Comparison ------------------------------------------------------------
+
+// Comparison summarises one N-application run of both worlds.
+type Comparison struct {
+	Apps                int
+	IsolatedAdapters    int
+	EnvironmentAdapters int
+	IsolatedSuccess     float64 // fraction of pair exchanges that worked
+	EnvironmentSuccess  float64
+}
+
+// Compare runs every ordered pair exchange once in both worlds.
+func Compare(n int, isolatedCoverage float64, seed int64) (Comparison, error) {
+	apps := SyntheticApps(n)
+	iso := BuildIsolated(apps, isolatedCoverage, seed)
+	env, err := BuildEnvironment(apps)
+	if err != nil {
+		return Comparison{}, err
+	}
+	for _, from := range apps {
+		doc := from.Document("status report", "tunnel on schedule")
+		for _, to := range apps {
+			if from.Name == to.Name {
+				continue
+			}
+			_, _ = iso.Exchange(from.Name, to.Name, doc)
+			if _, err := env.Exchange(from.Name, to.Name, doc); err != nil {
+				return Comparison{}, err // environment must never fail
+			}
+		}
+	}
+	isoStats, envStats := iso.Stats(), env.Stats()
+	cmp := Comparison{
+		Apps:                n,
+		IsolatedAdapters:    iso.AdapterCount(),
+		EnvironmentAdapters: env.AdapterCount(),
+	}
+	if isoStats.Attempted > 0 {
+		cmp.IsolatedSuccess = float64(isoStats.Succeeded) / float64(isoStats.Attempted)
+	}
+	if envStats.Attempted > 0 {
+		cmp.EnvironmentSuccess = float64(envStats.Succeeded) / float64(envStats.Attempted)
+	}
+	return cmp, nil
+}

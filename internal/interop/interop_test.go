@@ -1,0 +1,147 @@
+package interop
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsolatedRequiresDirectAdapter(t *testing.T) {
+	apps := SyntheticApps(3)
+	w := NewIsolatedWorld()
+	for _, a := range apps {
+		w.AddApp(a)
+	}
+	// Only app-00 -> app-01 integrated.
+	w.AddAdapter("app-00", "app-01", func(doc map[string]string) (map[string]string, error) {
+		return map[string]string{"a01_title": doc["a00_title"], "a01_body": doc["a00_body"]}, nil
+	})
+	doc := apps[0].Document("t", "b")
+	out, err := w.Exchange("app-00", "app-01", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["a01_title"] != "t" {
+		t.Fatalf("converted = %v", out)
+	}
+	// No adapter for the reverse direction or other pairs.
+	if _, err := w.Exchange("app-01", "app-00", out); !errors.Is(err, ErrNoAdapter) {
+		t.Fatalf("reverse: %v", err)
+	}
+	if _, err := w.Exchange("app-00", "app-02", doc); !errors.Is(err, ErrNoAdapter) {
+		t.Fatalf("unintegrated pair: %v", err)
+	}
+	st := w.Stats()
+	if st.Attempted != 3 || st.Succeeded != 1 || st.Failed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdapterCountsQuadraticVsLinear(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		apps := SyntheticApps(n)
+		iso := BuildIsolated(apps, 1.0, 1)
+		env, err := BuildEnvironment(apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIso := n * (n - 1)
+		if iso.AdapterCount() != wantIso {
+			t.Fatalf("n=%d isolated adapters = %d, want %d", n, iso.AdapterCount(), wantIso)
+		}
+		wantEnv := 2 * n
+		if env.AdapterCount() != wantEnv {
+			t.Fatalf("n=%d environment converters = %d, want %d", n, env.AdapterCount(), wantEnv)
+		}
+	}
+}
+
+func TestEnvironmentAllPairsInteroperate(t *testing.T) {
+	apps := SyntheticApps(8)
+	env, err := BuildEnvironment(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range apps {
+		doc := from.Document("hello", "world")
+		for _, to := range apps {
+			if from.Name == to.Name {
+				continue
+			}
+			out, err := env.Exchange(from.Name, to.Name, doc)
+			if err != nil {
+				t.Fatalf("%s -> %s: %v", from.Name, to.Name, err)
+			}
+			if out[to.TitleField] != "hello" || out[to.BodyField] != "world" {
+				t.Fatalf("%s -> %s lost content: %v", from.Name, to.Name, out)
+			}
+		}
+	}
+	st := env.Stats()
+	if st.Failed != 0 || st.Succeeded != int64(8*7) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCompareFullCoverage(t *testing.T) {
+	cmp, err := Compare(8, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.IsolatedAdapters != 56 || cmp.EnvironmentAdapters != 16 {
+		t.Fatalf("cmp = %+v", cmp)
+	}
+	if cmp.IsolatedSuccess != 1.0 || cmp.EnvironmentSuccess != 1.0 {
+		t.Fatalf("cmp = %+v", cmp)
+	}
+}
+
+func TestComparePartialCoverage(t *testing.T) {
+	// With half the pairwise adapters written, isolated interop degrades;
+	// the environment stays total. This is the paper's figure-2 failure
+	// mode made quantitative.
+	cmp, err := Compare(10, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.EnvironmentSuccess != 1.0 {
+		t.Fatalf("environment success = %v", cmp.EnvironmentSuccess)
+	}
+	if cmp.IsolatedSuccess >= 0.8 || cmp.IsolatedSuccess <= 0.2 {
+		t.Fatalf("isolated success = %v, want ≈0.5", cmp.IsolatedSuccess)
+	}
+	if cmp.IsolatedAdapters >= 90 {
+		t.Fatalf("isolated adapters = %d with 50%% coverage", cmp.IsolatedAdapters)
+	}
+}
+
+func TestQuickEnvironmentNeverLoses(t *testing.T) {
+	apps := SyntheticApps(5)
+	env, err := BuildEnvironment(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(title, body string, fromIdx, toIdx uint8) bool {
+		from := apps[int(fromIdx)%len(apps)]
+		to := apps[int(toIdx)%len(apps)]
+		if from.Name == to.Name {
+			return true
+		}
+		out, err := env.Exchange(from.Name, to.Name, from.Document(title, body))
+		if err != nil {
+			return false
+		}
+		return out[to.TitleField] == title && out[to.BodyField] == body
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := BuildIsolated(SyntheticApps(12), 0.3, 99)
+	b := BuildIsolated(SyntheticApps(12), 0.3, 99)
+	if a.AdapterCount() != b.AdapterCount() {
+		t.Fatalf("same seed produced different worlds: %d vs %d", a.AdapterCount(), b.AdapterCount())
+	}
+}

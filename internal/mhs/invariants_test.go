@@ -1,0 +1,89 @@
+package mhs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+	"mocca/internal/vclock"
+)
+
+// TestQuickNoSilentLoss: for any seed and moderate link loss, a message to
+// a provisioned remote recipient either arrives in the recipient's store
+// or produces a non-delivery report in the sender's store — never neither,
+// never both.
+func TestQuickNoSilentLoss(t *testing.T) {
+	f := func(seed int64, lossPct uint8) bool {
+		loss := float64(lossPct%50) / 100.0 // 0..0.49
+		clk := vclock.NewSimulated(netsim.DefaultEpoch)
+		net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(seed))
+		net.SetLink("m1", "m2", netsim.LinkProfile{Latency: 5 * time.Millisecond, Loss: loss})
+
+		gmd := NewMTA("m1", "gmd.de", rpc.NewEndpoint(net.MustAddNode("m1"), clk), clk)
+		upc := NewMTA("m2", "upc.es", rpc.NewEndpoint(net.MustAddNode("m2"), clk), clk)
+		gmd.AddRoute("upc.es", "m2")
+		upc.AddRoute("gmd.de", "m1")
+
+		sender := NewUserAgent(MustParseORName("pn=s;o=gmd;c=de"), gmd)
+		rcpt := NewUserAgent(MustParseORName("pn=r;o=upc;c=es"), upc)
+
+		if _, err := sender.Send([]ORName{rcpt.Name}, "x", "y"); err != nil {
+			return false
+		}
+		clk.RunUntilIdle()
+
+		// At-least-once semantics: lost transfer acks cause retries, so
+		// duplicates are possible (delivered >= 1) and a delivery plus an
+		// NDR can coexist (delivered, but every ack lost). What must
+		// NEVER happen is silent loss: no delivery AND no NDR.
+		delivered := rcpt.Unread() >= 1
+		senderMsgs, err := sender.List()
+		if err != nil {
+			return false
+		}
+		ndr := false
+		for _, m := range senderMsgs {
+			if m.IsReport() && m.Report.Kind == ReportNonDelivery {
+				ndr = true
+			}
+		}
+		return delivered || ndr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPriorityNeverReordersWithinClass: within one priority class,
+// mailbox listing preserves delivery order.
+func TestQuickPriorityNeverReordersWithinClass(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		n := int(count%16) + 2
+		clk := vclock.NewSimulated(netsim.DefaultEpoch)
+		net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(seed))
+		mta := NewMTA("m", "gmd.de", rpc.NewEndpoint(net.MustAddNode("m"), clk), clk)
+		sender := NewUserAgent(MustParseORName("pn=s;o=gmd;c=de"), mta)
+		rcpt := NewUserAgent(MustParseORName("pn=r;o=gmd;c=de"), mta)
+		for i := 0; i < n; i++ {
+			if _, err := sender.Send([]ORName{rcpt.Name}, string(rune('a'+i)), ""); err != nil {
+				return false
+			}
+		}
+		clk.RunUntilIdle()
+		msgs, err := rcpt.List()
+		if err != nil || len(msgs) != n {
+			return false
+		}
+		for i := 1; i < len(msgs); i++ {
+			if msgs[i].Seq < msgs[i-1].Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

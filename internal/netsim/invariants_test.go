@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mocca/internal/vclock"
+)
+
+// TestQuickStatsConservation: after the network quiesces, every sent
+// message is accounted for exactly once: delivered, dropped (loss), or
+// blocked (partition/down node).
+func TestQuickStatsConservation(t *testing.T) {
+	f := func(seed int64, lossPct uint8, msgs uint8) bool {
+		loss := float64(lossPct%90) / 100.0
+		n := int(msgs%64) + 1
+		clk := vclock.NewSimulated(DefaultEpoch)
+		net := New(WithClock(clk), WithSeed(seed))
+		a := net.MustAddNode("a")
+		b := net.MustAddNode("b")
+		net.SetLink("a", "b", LinkProfile{Latency: time.Millisecond, Jitter: 5 * time.Millisecond, Loss: loss})
+		b.Handle(func(Message) {})
+		for i := 0; i < n; i++ {
+			if err := a.Send(Message{To: "b", Payload: []byte{byte(i)}}); err != nil {
+				return false
+			}
+		}
+		clk.RunUntilIdle()
+		st := net.Stats()
+		return st.Sent == int64(n) && st.Delivered+st.Dropped+st.Blocked == st.Sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConservationWithPartitionChurn keeps the invariant while
+// partitions come and go mid-traffic.
+func TestQuickConservationWithPartitionChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := vclock.NewSimulated(DefaultEpoch)
+		net := New(WithClock(clk), WithSeed(seed))
+		a := net.MustAddNode("a")
+		b := net.MustAddNode("b")
+		net.SetLink("a", "b", LinkProfile{Latency: 10 * time.Millisecond})
+		b.Handle(func(Message) {})
+		for i := 0; i < 30; i++ {
+			_ = a.Send(Message{To: "b"})
+			switch rng.Intn(4) {
+			case 0:
+				net.Partition([]Address{"a"}, []Address{"b"})
+			case 1:
+				net.Heal()
+			case 2:
+				clk.Advance(5 * time.Millisecond)
+			}
+		}
+		net.Heal()
+		clk.RunUntilIdle()
+		st := net.Stats()
+		return st.Delivered+st.Dropped+st.Blocked == st.Sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

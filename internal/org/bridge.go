@@ -1,0 +1,103 @@
+package org
+
+import (
+	"fmt"
+
+	"mocca/internal/directory"
+	"mocca/internal/trader"
+)
+
+// TradingPolicy derives a trader admission policy from the knowledge base,
+// realising §6.1: "the organisational knowledge base considered in the
+// Mocca environment will be associated to the trader, containing or
+// dictating among other the trading policy."
+//
+// The derived policy admits an offer when the importer's organisation and
+// the provider's organisation have compatible policies. Offers whose
+// provider is not modelled in the knowledge base are admitted (the paper:
+// open systems must tolerate non-conforming participants). The importer is
+// resolved as an organisational object id; unknown importers only see
+// offers from unmodelled providers.
+func TradingPolicy(kb *KnowledgeBase) trader.Policy {
+	return trader.PolicyFunc{
+		ID: "org-compatibility",
+		Fn: func(importer string, offer trader.Offer) bool {
+			providerOrg := offer.Properties.First("org")
+			if providerOrg == "" {
+				return true // unmodelled provider: admit
+			}
+			importerOrg := kb.OrgOf(importer)
+			if importerOrg == "" {
+				// Unknown importer: admit only unmodelled providers (not
+				// reached — providerOrg != "" here), so deny.
+				return false
+			}
+			return kb.Compatible(importerOrg, providerOrg)
+		},
+	}
+}
+
+// ExportToDirectory publishes the knowledge base into an X.500 DIT under
+// per-organisation subtrees (o=<org>/ou=<kind>/cn=<id>), fulfilling the
+// requirement of "smooth integration and utilization of standard
+// information repositories".
+func ExportToDirectory(kb *KnowledgeBase, dit *directory.DIT) error {
+	orgs := kb.ObjectsByKind(KindOrg)
+	for _, o := range orgs {
+		dn := directory.DN{}.Child("o", o.ID)
+		attrs := o.Attrs.Clone()
+		attrs.Replace("objectclass", directory.ClassOrganization)
+		attrs.Replace("cn", o.Name)
+		if err := addIfAbsent(dit, dn, attrs); err != nil {
+			return err
+		}
+	}
+	kinds := []Kind{KindPerson, KindRole, KindResource, KindProject, KindUnit}
+	for _, kind := range kinds {
+		for _, o := range kb.ObjectsByKind(kind) {
+			if o.Org == "" {
+				continue // not placed under an organisation
+			}
+			parent := directory.DN{}.Child("o", o.Org).Child("ou", string(kind))
+			parentAttrs := directory.NewAttributes("objectclass", directory.ClassOrgUnit, "ou", string(kind))
+			if err := addIfAbsent(dit, parent, parentAttrs); err != nil {
+				return err
+			}
+			dn := parent.Child("cn", o.ID)
+			attrs := o.Attrs.Clone()
+			attrs.Replace("objectclass", objectClassFor(kind))
+			attrs.Replace("cn", o.Name)
+			attrs.Replace("orgobjectid", o.ID)
+			if err := addIfAbsent(dit, dn, attrs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func addIfAbsent(dit *directory.DIT, dn directory.DN, attrs directory.Attributes) error {
+	err := dit.Add(dn, attrs)
+	if err == nil {
+		return nil
+	}
+	if _, readErr := dit.Read(dn); readErr == nil {
+		return nil // already present
+	}
+	return fmt.Errorf("org: export %s: %w", dn, err)
+}
+
+func objectClassFor(kind Kind) string {
+	switch kind {
+	case KindPerson:
+		return directory.ClassPerson
+	case KindRole:
+		return directory.ClassRole
+	case KindResource:
+		return directory.ClassResource
+	case KindProject, KindUnit:
+		return directory.ClassOrgUnit
+	default:
+		return "top"
+	}
+}

@@ -1,0 +1,180 @@
+package org
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation reports a rule breach.
+type Violation struct {
+	Rule    string
+	Subject string
+	Detail  string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (%s)", v.Rule, v.Subject, v.Detail)
+}
+
+// Rule is an organisational regulation checked against the knowledge base.
+// The paper warns against rules that are "too rigid and procedural"; rules
+// here are advisory — Check reports violations, it never blocks operations.
+// (The paper's aside applies: "employees do often not behave as it is
+// prescribed in the organisational handbook. Some people are convinced that
+// this is the only reason why large companies survive.")
+type Rule interface {
+	Name() string
+	Check(kb *KnowledgeBase) []Violation
+}
+
+// AddRule installs a rule for CheckRules.
+func (kb *KnowledgeBase) AddRule(r Rule) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	kb.rules = append(kb.rules, r)
+}
+
+// CheckRules evaluates every installed rule, returning all violations
+// sorted by (rule, subject).
+func (kb *KnowledgeBase) CheckRules() []Violation {
+	kb.mu.RLock()
+	rules := append([]Rule(nil), kb.rules...)
+	kb.mu.RUnlock()
+	var out []Violation
+	for _, r := range rules {
+		out = append(out, r.Check(kb)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Subject < out[j].Subject
+	})
+	return out
+}
+
+// RuleFunc adapts a function to Rule.
+type RuleFunc struct {
+	ID string
+	Fn func(kb *KnowledgeBase) []Violation
+}
+
+// Name implements Rule.
+func (r RuleFunc) Name() string { return r.ID }
+
+// Check implements Rule.
+func (r RuleFunc) Check(kb *KnowledgeBase) []Violation { return r.Fn(kb) }
+
+// MaxRolesRule flags persons filling more than Max roles — the classic
+// over-commitment regulation.
+type MaxRolesRule struct {
+	Max int
+}
+
+// Name implements Rule.
+func (r MaxRolesRule) Name() string { return fmt.Sprintf("max-roles-%d", r.Max) }
+
+// Check implements Rule.
+func (r MaxRolesRule) Check(kb *KnowledgeBase) []Violation {
+	var out []Violation
+	for _, p := range kb.ObjectsByKind(KindPerson) {
+		roles := kb.RolesFilledBy(p.ID)
+		if len(roles) > r.Max {
+			out = append(out, Violation{
+				Rule:    r.Name(),
+				Subject: p.ID,
+				Detail:  fmt.Sprintf("fills %d roles, max %d", len(roles), r.Max),
+			})
+		}
+	}
+	return out
+}
+
+// SingleAllocationRule flags resources allocated to more than one project
+// simultaneously.
+type SingleAllocationRule struct{}
+
+// Name implements Rule.
+func (SingleAllocationRule) Name() string { return "single-allocation" }
+
+// Check implements Rule.
+func (SingleAllocationRule) Check(kb *KnowledgeBase) []Violation {
+	var out []Violation
+	for _, res := range kb.ObjectsByKind(KindResource) {
+		projects := kb.Related(res.ID, RelAllocatedTo)
+		if len(projects) > 1 {
+			out = append(out, Violation{
+				Rule:    "single-allocation",
+				Subject: res.ID,
+				Detail:  fmt.Sprintf("allocated to %d projects", len(projects)),
+			})
+		}
+	}
+	return out
+}
+
+// RoleCoverageRule flags roles responsible for something that nobody fills
+// — work with no owner.
+type RoleCoverageRule struct{}
+
+// Name implements Rule.
+func (RoleCoverageRule) Name() string { return "role-coverage" }
+
+// Check implements Rule.
+func (RoleCoverageRule) Check(kb *KnowledgeBase) []Violation {
+	var out []Violation
+	for _, role := range kb.ObjectsByKind(KindRole) {
+		if len(kb.Related(role.ID, RelResponsibleFor)) == 0 {
+			continue // role carries no responsibility; vacancy is fine
+		}
+		if len(kb.RelatedInverse(role.ID, RelFills)) == 0 {
+			out = append(out, Violation{
+				Rule:    "role-coverage",
+				Subject: role.ID,
+				Detail:  "responsible role is unfilled",
+			})
+		}
+	}
+	return out
+}
+
+// ReportingCycleRule flags cycles in reports-to (a person transitively
+// reporting to themselves).
+type ReportingCycleRule struct{}
+
+// Name implements Rule.
+func (ReportingCycleRule) Name() string { return "reporting-cycle" }
+
+// Check implements Rule.
+func (ReportingCycleRule) Check(kb *KnowledgeBase) []Violation {
+	var out []Violation
+	for _, p := range kb.ObjectsByKind(KindPerson) {
+		// The closure never re-lists its start node, so test reachability
+		// of p from each direct manager instead.
+		cyclic := false
+		for _, mgr := range kb.Related(p.ID, RelReportsTo) {
+			if mgr == p.ID {
+				cyclic = true
+				break
+			}
+			for _, reachable := range kb.TransitiveClosure(mgr, RelReportsTo) {
+				if reachable == p.ID {
+					cyclic = true
+					break
+				}
+			}
+			if cyclic {
+				break
+			}
+		}
+		if cyclic {
+			out = append(out, Violation{
+				Rule:    "reporting-cycle",
+				Subject: p.ID,
+				Detail:  "transitively reports to self",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,451 @@
+// Package rpc implements the invocation layer of the simulated ODP
+// infrastructure: interrogations (request/reply) and announcements (one-way)
+// between computational objects, carried over netsim in wire envelopes.
+//
+// The ODP computational viewpoint names exactly these two interaction
+// kinds; higher layers (trader, directory, mhs, the CSCW environment) are
+// all expressed in terms of them.
+//
+// Because the substrate may run under a simulated clock, the primary call
+// API is asynchronous (Go with a completion callback). A blocking Call is
+// provided for use under the real clock or when another goroutine drives
+// the simulation.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mocca/internal/id"
+	"mocca/internal/netsim"
+	"mocca/internal/vclock"
+	"mocca/internal/wire"
+)
+
+// Envelope kinds used on the wire.
+const (
+	kindRequest  = "rpc.req"
+	kindReply    = "rpc.rep"
+	kindAnnounce = "rpc.ann"
+)
+
+// Errors surfaced to callers.
+var (
+	ErrTimeout       = errors.New("rpc: call timed out")
+	ErrNoSuchMethod  = errors.New("rpc: no such method")
+	ErrEndpointReuse = errors.New("rpc: method already registered")
+)
+
+// RemoteError is an application error returned by the remote handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}
+
+// Request is an inbound invocation as seen by a handler.
+type Request struct {
+	From   netsim.Address
+	Method string
+	Body   []byte
+}
+
+// Handler services an invocation. Returning an error sends a RemoteError to
+// the caller. For announcements the returned body is discarded.
+type Handler func(req Request) ([]byte, error)
+
+// AsyncHandler services an invocation that completes later: the handler
+// must call reply exactly once (possibly from a different event). Handlers
+// that fan out to other services over the network MUST use this form —
+// blocking inside a Handler stalls the event loop under a simulated clock.
+type AsyncHandler func(req Request, reply func(body []byte, err error))
+
+// Interceptor wraps inbound handlers (logging, access checks, metering).
+type Interceptor func(next Handler) Handler
+
+// Result is the outcome of an asynchronous call.
+type Result struct {
+	Body []byte
+	Err  error
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	CallsSent     int64
+	CallsServed   int64
+	Announcements int64
+	Timeouts      int64
+	RemoteErrors  int64
+}
+
+// Option configures an Endpoint.
+type Option func(*Endpoint)
+
+// WithTimeout sets the default per-call timeout. Zero keeps the 2s default.
+func WithTimeout(d time.Duration) Option {
+	return func(e *Endpoint) { e.timeout = d }
+}
+
+// WithInterceptor appends a server-side interceptor; interceptors run in
+// registration order, outermost first.
+func WithInterceptor(i Interceptor) Option {
+	return func(e *Endpoint) { e.interceptors = append(e.interceptors, i) }
+}
+
+// WithIDs sets the identifier generator (for deterministic correlation ids).
+func WithIDs(g *id.Generator) Option {
+	return func(e *Endpoint) { e.ids = g }
+}
+
+// Endpoint binds RPC behaviour to a network node: it can both serve methods
+// and invoke remote ones.
+type Endpoint struct {
+	node  *netsim.Node
+	clock vclock.Clock
+	ids   *id.Generator
+
+	timeout      time.Duration
+	interceptors []Interceptor
+
+	mu           sync.Mutex
+	methods      map[string]Handler
+	asyncMethods map[string]AsyncHandler
+	pending      map[string]*pendingCall
+	stats        Stats
+	closed       bool
+}
+
+type pendingCall struct {
+	done  func(Result)
+	timer vclock.Timer
+}
+
+// NewEndpoint attaches an endpoint to the node and installs its network
+// handler. One endpoint per node.
+func NewEndpoint(node *netsim.Node, clock vclock.Clock, opts ...Option) *Endpoint {
+	e := &Endpoint{
+		node:         node,
+		clock:        clock,
+		timeout:      2 * time.Second,
+		methods:      make(map[string]Handler),
+		asyncMethods: make(map[string]AsyncHandler),
+		pending:      make(map[string]*pendingCall),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.ids == nil {
+		e.ids = id.New()
+	}
+	node.Handle(e.onMessage)
+	return e
+}
+
+// Addr returns the underlying node address.
+func (e *Endpoint) Addr() netsim.Address { return e.node.Addr() }
+
+// Register installs a handler for a method name.
+func (e *Endpoint) Register(method string, h Handler) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.methods[method]; ok {
+		return fmt.Errorf("%w: %q", ErrEndpointReuse, method)
+	}
+	if _, ok := e.asyncMethods[method]; ok {
+		return fmt.Errorf("%w: %q", ErrEndpointReuse, method)
+	}
+	e.methods[method] = h
+	return nil
+}
+
+// RegisterAsync installs an asynchronous handler for a method name.
+func (e *Endpoint) RegisterAsync(method string, h AsyncHandler) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.methods[method]; ok {
+		return fmt.Errorf("%w: %q", ErrEndpointReuse, method)
+	}
+	if _, ok := e.asyncMethods[method]; ok {
+		return fmt.Errorf("%w: %q", ErrEndpointReuse, method)
+	}
+	e.asyncMethods[method] = h
+	return nil
+}
+
+// MustRegisterAsync is RegisterAsync panicking on error.
+func (e *Endpoint) MustRegisterAsync(method string, h AsyncHandler) {
+	if err := e.RegisterAsync(method, h); err != nil {
+		panic(err)
+	}
+}
+
+// MustRegister is Register panicking on error.
+func (e *Endpoint) MustRegister(method string, h Handler) {
+	if err := e.Register(method, h); err != nil {
+		panic(err)
+	}
+}
+
+// Stats returns a snapshot of the endpoint counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close cancels all pending calls with ErrTimeout and stops accepting work.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	pending := e.pending
+	e.pending = make(map[string]*pendingCall)
+	e.mu.Unlock()
+	for _, pc := range pending {
+		pc.timer.Stop()
+		pc.done(Result{Err: ErrTimeout})
+	}
+}
+
+// CallOption adjusts a single invocation.
+type CallOption func(*callSettings)
+
+type callSettings struct {
+	timeout time.Duration
+	retries int
+}
+
+// CallTimeout overrides the endpoint default timeout for one call.
+func CallTimeout(d time.Duration) CallOption {
+	return func(s *callSettings) { s.timeout = d }
+}
+
+// CallRetries retries a timed-out call up to n additional times.
+func CallRetries(n int) CallOption {
+	return func(s *callSettings) { s.retries = n }
+}
+
+// Go invokes method on the remote address asynchronously; done is called
+// exactly once with the outcome. Safe to call from within handlers.
+func (e *Endpoint) Go(to netsim.Address, method string, body []byte, done func(Result), opts ...CallOption) {
+	settings := callSettings{timeout: e.timeout}
+	for _, opt := range opts {
+		opt(&settings)
+	}
+	e.attempt(to, method, body, done, settings)
+}
+
+func (e *Endpoint) attempt(to netsim.Address, method string, body []byte, done func(Result), s callSettings) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		done(Result{Err: ErrTimeout})
+		return
+	}
+	corr := e.ids.Next("call")
+	e.stats.CallsSent++
+	pc := &pendingCall{done: done}
+	pc.timer = e.clock.AfterFunc(s.timeout, func() {
+		e.expire(corr, to, method, body, done, s)
+	})
+	e.pending[corr] = pc
+	e.mu.Unlock()
+
+	env := wire.NewEnvelope(kindRequest, corr, body)
+	env.SetHeader("method", method)
+	data, err := wire.Marshal(env)
+	if err != nil {
+		e.complete(corr, Result{Err: err})
+		return
+	}
+	if err := e.node.Send(netsim.Message{To: to, Kind: kindRequest, Payload: data}); err != nil {
+		e.complete(corr, Result{Err: err})
+	}
+}
+
+// expire handles a call timeout, retrying if budget remains.
+func (e *Endpoint) expire(corr string, to netsim.Address, method string, body []byte, done func(Result), s callSettings) {
+	e.mu.Lock()
+	_, ok := e.pending[corr]
+	if !ok {
+		e.mu.Unlock()
+		return // reply won the race
+	}
+	delete(e.pending, corr)
+	e.stats.Timeouts++
+	retry := s.retries > 0
+	e.mu.Unlock()
+	if retry {
+		s.retries--
+		e.attempt(to, method, body, done, s)
+		return
+	}
+	done(Result{Err: fmt.Errorf("%w: %s on %s", ErrTimeout, method, to)})
+}
+
+// complete resolves a pending call if still outstanding.
+func (e *Endpoint) complete(corr string, r Result) {
+	e.mu.Lock()
+	pc, ok := e.pending[corr]
+	if ok {
+		delete(e.pending, corr)
+		if _, isRemote := r.Err.(*RemoteError); isRemote {
+			e.stats.RemoteErrors++
+		}
+	}
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	pc.timer.Stop()
+	pc.done(r)
+}
+
+// Call is the blocking form of Go. Under a simulated clock the caller must
+// not be the goroutine driving the clock.
+func (e *Endpoint) Call(to netsim.Address, method string, body []byte, opts ...CallOption) ([]byte, error) {
+	ch := make(chan Result, 1)
+	e.Go(to, method, body, func(r Result) { ch <- r }, opts...)
+	r := <-ch
+	return r.Body, r.Err
+}
+
+// Announce sends a one-way invocation: no reply, no timeout, no outcome.
+func (e *Endpoint) Announce(to netsim.Address, method string, body []byte) error {
+	env := wire.NewEnvelope(kindAnnounce, "", body)
+	env.SetHeader("method", method)
+	data, err := wire.Marshal(env)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.stats.Announcements++
+	e.mu.Unlock()
+	return e.node.Send(netsim.Message{To: to, Kind: kindAnnounce, Payload: data})
+}
+
+// onMessage dispatches inbound network traffic.
+func (e *Endpoint) onMessage(msg netsim.Message) {
+	env, err := wire.Unmarshal(msg.Payload)
+	if err != nil {
+		return // drop undecodable traffic, as a real stack would
+	}
+	switch env.Kind {
+	case kindRequest:
+		e.serve(msg.From, env, true)
+	case kindAnnounce:
+		e.serve(msg.From, env, false)
+	case kindReply:
+		e.onReply(env)
+	}
+}
+
+// serve runs the registered handler and, for interrogations, replies.
+func (e *Endpoint) serve(from netsim.Address, env *wire.Envelope, reply bool) {
+	method, _ := env.Header("method")
+	e.mu.Lock()
+	h, ok := e.methods[method]
+	ah, aok := e.asyncMethods[method]
+	interceptors := e.interceptors
+	e.stats.CallsServed++
+	e.mu.Unlock()
+
+	req := Request{From: from, Method: method, Body: env.Body}
+	sendReply := func(body []byte, herr error) {
+		if !reply {
+			return
+		}
+		rep := wire.NewEnvelope(kindReply, env.Corr, body)
+		rep.SetHeader("method", method)
+		if herr != nil {
+			rep.SetHeader("error", herr.Error())
+		}
+		data, err := wire.Marshal(rep)
+		if err != nil {
+			return
+		}
+		// Best effort: if the reply cannot be sent the caller times out.
+		_ = e.node.Send(netsim.Message{To: from, Kind: kindReply, Payload: data})
+	}
+
+	switch {
+	case aok:
+		// Async path: interceptors wrap a synthetic handler boundary is
+		// not meaningful here; async handlers receive the raw request and
+		// own the reply.
+		ah(req, sendReply)
+	case ok:
+		wrapped := h
+		for i := len(interceptors) - 1; i >= 0; i-- {
+			wrapped = interceptors[i](wrapped)
+		}
+		body, herr := wrapped(req)
+		sendReply(body, herr)
+	default:
+		sendReply(nil, fmt.Errorf("%w: %q", ErrNoSuchMethod, method))
+	}
+}
+
+// onReply resolves the matching pending call.
+func (e *Endpoint) onReply(env *wire.Envelope) {
+	if msg, ok := env.Header("error"); ok {
+		method, _ := env.Header("method")
+		e.complete(env.Corr, Result{Err: &RemoteError{Method: method, Msg: msg}})
+		return
+	}
+	e.complete(env.Corr, Result{Body: env.Body})
+}
+
+// CallJSON invokes method encoding req as JSON and decoding the reply into
+// resp (which may be nil to discard).
+func (e *Endpoint) CallJSON(to netsim.Address, method string, req, resp any, opts ...CallOption) error {
+	body, err := wire.EncodeBody(req)
+	if err != nil {
+		return err
+	}
+	out, err := e.Call(to, method, body, opts...)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return wire.DecodeBody(out, resp)
+}
+
+// GoJSON is the asynchronous form of CallJSON; decode is deferred to the
+// caller via the raw Result.
+func (e *Endpoint) GoJSON(to netsim.Address, method string, req any, done func(Result), opts ...CallOption) {
+	body, err := wire.EncodeBody(req)
+	if err != nil {
+		done(Result{Err: err})
+		return
+	}
+	e.Go(to, method, body, done, opts...)
+}
+
+// HandleJSON adapts a typed handler into a Handler. The adapter decodes the
+// request body into a fresh Req and encodes the returned value as JSON.
+func HandleJSON[Req any, Resp any](f func(from netsim.Address, req Req) (Resp, error)) Handler {
+	return func(r Request) ([]byte, error) {
+		var req Req
+		if len(r.Body) > 0 {
+			if err := wire.DecodeBody(r.Body, &req); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := f(r.From, req)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeBody(resp)
+	}
+}

@@ -1,0 +1,7 @@
+package trader
+
+import "encoding/json"
+
+func decodeJSON(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+func encodeJSON(v any) ([]byte, error) { return json.Marshal(v) }

@@ -1,0 +1,144 @@
+package trader
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mocca/internal/directory"
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+	"mocca/internal/vclock"
+)
+
+// driveSim runs op on a helper goroutine while advancing the simulated
+// clock from the test goroutine.
+func driveSim(t *testing.T, clk *vclock.Simulated, op func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- op() }()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			return err
+		case <-deadline:
+			t.Fatal("simulated op did not complete")
+		default:
+			time.Sleep(200 * time.Microsecond)
+			clk.Advance(20 * time.Millisecond)
+		}
+	}
+}
+
+func TestTraderOverRPC(t *testing.T) {
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(5))
+	srvEP := rpc.NewEndpoint(net.MustAddNode("trader"), clk)
+	cliEP := rpc.NewEndpoint(net.MustAddNode("app"), clk)
+	NewServer(srvEP, New())
+	client := NewClient(cliEP, "trader")
+
+	if err := driveSim(t, clk, func() error { return client.RegisterType("printing") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := driveSim(t, clk, func() error {
+		return client.Export(Offer{
+			ID:          "o1",
+			ServiceType: "printing",
+			Provider:    "ps1",
+			Properties:  directory.NewAttributes("ppm", "12"),
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var offers []Offer
+	if err := driveSim(t, clk, func() error {
+		var err error
+		offers, err = client.Import(ImportRequest{ServiceType: "printing", Constraint: "(ppm>=10)"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].Provider != "ps1" {
+		t.Fatalf("imported %v", offers)
+	}
+
+	if err := driveSim(t, clk, func() error { return client.Withdraw("o1") }); err != nil {
+		t.Fatal(err)
+	}
+	err := driveSim(t, clk, func() error { return client.Withdraw("o1") })
+	var remote *rpc.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("double withdraw err = %v", err)
+	}
+}
+
+func TestFederationOverRPC(t *testing.T) {
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(5))
+	// Two trading domains (e.g. GMD and UPC) plus one importer.
+	gmdEP := rpc.NewEndpoint(net.MustAddNode("trader-gmd"), clk)
+	upcEP := rpc.NewEndpoint(net.MustAddNode("trader-upc"), clk)
+	appEP := rpc.NewEndpoint(net.MustAddNode("app"), clk)
+
+	gmdSrv := NewServer(gmdEP, New())
+	upcSrv := NewServer(upcEP, New())
+	for _, s := range []*Server{gmdSrv, upcSrv} {
+		if err := s.Trader().RegisterType("conferencing"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := upcSrv.Trader().Export(Offer{ID: "upc-conf", ServiceType: "conferencing", Provider: "upc-mcu"}); err != nil {
+		t.Fatal(err)
+	}
+	gmdSrv.Trader().LinkPeer("trader-upc")
+
+	client := NewClient(appEP, "trader-gmd")
+	var offers []Offer
+	if err := driveSim(t, clk, func() error {
+		var err error
+		offers, err = client.Import(ImportRequest{ServiceType: "conferencing"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].ID != "upc-conf" {
+		t.Fatalf("federated import over rpc = %v", offers)
+	}
+	if st := gmdSrv.Trader().Stats(); st.Forwarded != 1 {
+		t.Fatalf("Forwarded = %d, want 1", st.Forwarded)
+	}
+}
+
+func TestFederationSurvivesDeadPeer(t *testing.T) {
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(5))
+	gmdEP := rpc.NewEndpoint(net.MustAddNode("trader-gmd"), clk)
+	appEP := rpc.NewEndpoint(net.MustAddNode("app"), clk)
+	deadNode := net.MustAddNode("trader-dead")
+	deadNode.SetDown(true)
+
+	gmdSrv := NewServer(gmdEP, New())
+	if err := gmdSrv.Trader().RegisterType("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gmdSrv.Trader().Export(Offer{ID: "local", ServiceType: "svc"}); err != nil {
+		t.Fatal(err)
+	}
+	gmdSrv.Trader().LinkPeer("trader-dead")
+
+	client := NewClient(appEP, "trader-gmd")
+	var offers []Offer
+	if err := driveSim(t, clk, func() error {
+		var err error
+		offers, err = client.Import(ImportRequest{ServiceType: "svc"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].ID != "local" {
+		t.Fatalf("import with dead peer = %v", offers)
+	}
+}

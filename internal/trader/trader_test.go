@@ -1,0 +1,289 @@
+package trader
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mocca/internal/directory"
+	"mocca/internal/netsim"
+)
+
+func newSeededTrader(t *testing.T) *Trader {
+	t.Helper()
+	tr := New()
+	mustRegister := func(name string, supers ...string) {
+		t.Helper()
+		if err := tr.RegisterType(name, supers...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRegister("service")
+	mustRegister("printing", "service")
+	mustRegister("color-printing", "printing")
+	mustRegister("conferencing", "service")
+
+	offers := []Offer{
+		{ID: "o1", ServiceType: "printing", Provider: "ps1",
+			Properties: directory.NewAttributes("ppm", "10", "location", "floor1")},
+		{ID: "o2", ServiceType: "color-printing", Provider: "ps2",
+			Properties: directory.NewAttributes("ppm", "5", "location", "floor2")},
+		{ID: "o3", ServiceType: "conferencing", Provider: "conf1",
+			Properties: directory.NewAttributes("maxusers", "20")},
+	}
+	for _, o := range offers {
+		if err := tr.Export(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestImportByTypeWithSubtypes(t *testing.T) {
+	tr := newSeededTrader(t)
+	got, err := tr.Import(ImportRequest{ServiceType: "printing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("printing import = %d offers, want 2 (subtype included)", len(got))
+	}
+	got, err = tr.Import(ImportRequest{ServiceType: "color-printing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "o2" {
+		t.Fatalf("color-printing import = %v", got)
+	}
+	got, err = tr.Import(ImportRequest{ServiceType: "service"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("service import = %d offers, want 3", len(got))
+	}
+}
+
+func TestImportConstraint(t *testing.T) {
+	tr := newSeededTrader(t)
+	got, err := tr.Import(ImportRequest{ServiceType: "printing", Constraint: "(ppm>=8)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "o1" {
+		t.Fatalf("constrained import = %v", got)
+	}
+	if _, err := tr.Import(ImportRequest{ServiceType: "printing", Constraint: "((("}); err == nil {
+		t.Fatal("bad constraint accepted")
+	}
+}
+
+func TestImportOrderingAndLimit(t *testing.T) {
+	tr := newSeededTrader(t)
+	got, err := tr.Import(ImportRequest{ServiceType: "printing", OrderBy: "ppm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != "o1" {
+		t.Fatalf("order by ppm desc: first = %s, want o1", got[0].ID)
+	}
+	got, err = tr.Import(ImportRequest{ServiceType: "service", MaxOffers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("MaxOffers ignored: %d", len(got))
+	}
+}
+
+func TestUnknownTypeErrors(t *testing.T) {
+	tr := newSeededTrader(t)
+	if _, err := tr.Import(ImportRequest{ServiceType: "nope"}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("import unknown type: %v", err)
+	}
+	if err := tr.Export(Offer{ID: "x", ServiceType: "nope"}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("export unknown type: %v", err)
+	}
+	if err := tr.RegisterType("sub", "nope"); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("register with unknown supertype: %v", err)
+	}
+	if err := tr.RegisterType("printing"); !errors.Is(err, ErrTypeExists) {
+		t.Fatalf("duplicate type: %v", err)
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	tr := newSeededTrader(t)
+	if err := tr.Withdraw("o1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Withdraw("o1"); !errors.Is(err, ErrUnknownOffer) {
+		t.Fatalf("double withdraw: %v", err)
+	}
+	got, err := tr.Import(ImportRequest{ServiceType: "printing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("after withdraw: %d offers", len(got))
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestModifyOffer(t *testing.T) {
+	tr := newSeededTrader(t)
+	if err := tr.ModifyOffer("o1", directory.NewAttributes("ppm", "99")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Import(ImportRequest{ServiceType: "printing", Constraint: "(ppm>=99)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "o1" {
+		t.Fatalf("modified offer not matched: %v", got)
+	}
+	if err := tr.ModifyOffer("ghost", nil); !errors.Is(err, ErrUnknownOffer) {
+		t.Fatalf("modify ghost: %v", err)
+	}
+}
+
+func TestPolicyExcludes(t *testing.T) {
+	tr := newSeededTrader(t)
+	tr.AddPolicy(PolicyFunc{
+		ID: "floor1-only",
+		Fn: func(importer string, o Offer) bool {
+			if importer != "visitor" {
+				return true
+			}
+			return o.Properties.First("location") == "floor1"
+		},
+	})
+	got, err := tr.Import(ImportRequest{ServiceType: "printing", Importer: "visitor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "o1" {
+		t.Fatalf("policy-filtered import = %v", got)
+	}
+	// Other importers see everything.
+	got, err = tr.Import(ImportRequest{ServiceType: "printing", Importer: "staff"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("staff import = %d", len(got))
+	}
+	if st := tr.Stats(); st.Excluded != 1 {
+		t.Fatalf("Excluded = %d, want 1", st.Excluded)
+	}
+}
+
+func TestFederation(t *testing.T) {
+	local, remote := New(), New()
+	for _, tr := range []*Trader{local, remote} {
+		if err := tr.RegisterType("printing"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := local.Export(Offer{ID: "l1", ServiceType: "printing", Provider: "local-ps"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Export(Offer{ID: "r1", ServiceType: "printing", Provider: "remote-ps"}); err != nil {
+		t.Fatal(err)
+	}
+	local.LinkPeer("remote")
+	local.SetForwarder(func(_ netsim.Address, req ImportRequest) ([]Offer, error) {
+		return remote.Import(req)
+	})
+	got, err := local.Import(ImportRequest{ServiceType: "printing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("federated import = %d offers, want 2", len(got))
+	}
+}
+
+func TestHopLimitStopsLoops(t *testing.T) {
+	a, b := New(), New()
+	for _, tr := range []*Trader{a, b} {
+		if err := tr.RegisterType("svc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Export(Offer{ID: "a1", ServiceType: "svc"}); err != nil {
+		t.Fatal(err)
+	}
+	// a and b link to each other: without the hop limit this recurses
+	// forever.
+	a.LinkPeer("b")
+	b.LinkPeer("a")
+	a.SetForwarder(func(_ netsim.Address, req ImportRequest) ([]Offer, error) { return b.Import(req) })
+	b.SetForwarder(func(_ netsim.Address, req ImportRequest) ([]Offer, error) { return a.Import(req) })
+
+	got, err := a.Import(ImportRequest{ServiceType: "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "a1" {
+		t.Fatalf("looped federation = %v", got)
+	}
+}
+
+func TestDedupeAcrossFederation(t *testing.T) {
+	a, b := New(), New()
+	for _, tr := range []*Trader{a, b} {
+		if err := tr.RegisterType("svc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := Offer{ID: "dup", ServiceType: "svc"}
+	if err := a.Export(shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Export(shared); err != nil {
+		t.Fatal(err)
+	}
+	a.LinkPeer("b")
+	a.SetForwarder(func(_ netsim.Address, req ImportRequest) ([]Offer, error) { return b.Import(req) })
+	got, err := a.Import(ImportRequest{ServiceType: "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("dedupe failed: %d copies", len(got))
+	}
+}
+
+func TestManyOffersScale(t *testing.T) {
+	tr := New()
+	if err := tr.RegisterType("svc"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		err := tr.Export(Offer{
+			ID:          fmt.Sprintf("o%04d", i),
+			ServiceType: "svc",
+			Properties:  directory.NewAttributes("load", fmt.Sprintf("%d", i%100)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tr.Import(ImportRequest{ServiceType: "svc", Constraint: "(load<=4)", OrderBy: "load", MaxOffers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("limited import = %d", len(got))
+	}
+	// Descending order by load, constrained to load<=4: all ten must be 4.
+	for _, o := range got {
+		if v := o.Properties.First("load"); v != "4" {
+			t.Fatalf("ordering wrong: got load %s, want 4", v)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package vclock provides the virtual time base used by the simulated
+// distributed substrate. All components in this repository take a Clock so
+// that tests and benchmarks run deterministically under a simulated clock,
+// while examples may run against the real wall clock.
+//
+// The simulated clock is also a discrete-event scheduler: goroutines
+// register timers, and Advance drains them in timestamp order. This is the
+// standard deterministic-simulation design used by network simulators.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for all simulated components.
+//
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run once d has elapsed. The returned Timer
+	// can cancel the call.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+}
+
+// Timer is a cancellable pending call created by AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call was prevented
+	// from firing.
+	Stop() bool
+}
+
+// Real returns a Clock backed by the wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{t: time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// Simulated is a deterministic discrete-event clock. Time only moves when
+// Advance or Run is called, and pending events fire in (time, sequence)
+// order, so a simulation that schedules the same events always produces the
+// same interleaving.
+type Simulated struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	events eventQueue
+}
+
+// NewSimulated returns a simulated clock starting at the given epoch.
+func NewSimulated(epoch time.Time) *Simulated {
+	return &Simulated{now: epoch}
+}
+
+// Now implements Clock.
+func (s *Simulated) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After implements Clock.
+func (s *Simulated) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.AfterFunc(d, func() {
+		// Buffered: the send never blocks event processing.
+		ch <- s.Now()
+	})
+	return ch
+}
+
+// Sleep implements Clock. Under a simulated clock Sleep parks the calling
+// goroutine until some other goroutine advances time past the deadline.
+func (s *Simulated) Sleep(d time.Duration) {
+	<-s.After(d)
+}
+
+// AfterFunc implements Clock.
+func (s *Simulated) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &event{
+		at:  s.now.Add(d),
+		seq: s.seq,
+		fn:  f,
+	}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &simTimer{clock: s, ev: ev}
+}
+
+// Pending reports the number of scheduled events that have not yet fired.
+func (s *Simulated) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// NextDeadline returns the timestamp of the earliest pending event and
+// whether one exists.
+func (s *Simulated) NextDeadline() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ev := range s.events {
+		if !ev.cancelled {
+			// The heap root is the earliest, but cancelled events may sit
+			// anywhere; scan is fine because queues stay small in tests.
+			earliest := ev.at
+			for _, other := range s.events {
+				if !other.cancelled && other.at.Before(earliest) {
+					earliest = other.at
+				}
+			}
+			return earliest, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Advance moves the clock forward by d, firing every event whose deadline
+// falls within the window, in order. Callbacks run on the calling
+// goroutine; callbacks may schedule further events, which also fire if they
+// fall within the window.
+func (s *Simulated) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.mu.Unlock()
+	s.AdvanceTo(target)
+}
+
+// AdvanceTo moves the clock to the given instant (it never moves backwards)
+// firing due events in order.
+func (s *Simulated) AdvanceTo(target time.Time) {
+	for {
+		s.mu.Lock()
+		ev := s.popDueLocked(target)
+		if ev == nil {
+			if target.After(s.now) {
+				s.now = target
+			}
+			s.mu.Unlock()
+			return
+		}
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		s.mu.Unlock()
+		ev.fn()
+	}
+}
+
+// RunUntilIdle fires all pending events regardless of timestamp, advancing
+// the clock as needed, until no events remain. It returns the number of
+// events fired. Use it to drain a simulation to quiescence.
+func (s *Simulated) RunUntilIdle() int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		ev := s.popDueLocked(maxTime)
+		if ev == nil {
+			s.mu.Unlock()
+			return fired
+		}
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		s.mu.Unlock()
+		ev.fn()
+		fired++
+	}
+}
+
+var maxTime = time.Unix(1<<62-1, 0)
+
+// popDueLocked removes and returns the earliest non-cancelled event with
+// at <= target, or nil.
+func (s *Simulated) popDueLocked(target time.Time) *event {
+	for s.events.Len() > 0 {
+		ev := s.events[0]
+		if ev.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if ev.at.After(target) {
+			return nil
+		}
+		heap.Pop(&s.events)
+		return ev
+	}
+	return nil
+}
+
+type simTimer struct {
+	clock *Simulated
+	ev    *event
+}
+
+func (t *simTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at.Equal(q[j].at) {
+		return q[i].seq < q[j].seq
+	}
+	return q[i].at.Before(q[j].at)
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+var (
+	_ Clock = realClock{}
+	_ Clock = (*Simulated)(nil)
+)

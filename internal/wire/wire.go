@@ -1,0 +1,262 @@
+// Package wire defines the on-the-wire envelope format shared by every
+// protocol in the repository (rpc, mhs, rtc). An envelope carries a version,
+// a kind discriminator, a correlation identifier, free-form headers, and an
+// opaque body.
+//
+// The binary layout is deliberately simple and self-contained:
+//
+//	magic    uint16 = 0x0D9 ("ODP" truncated)
+//	version  uint8
+//	kind     lenString
+//	corr     lenString
+//	nheaders uint16, then nheaders × (lenString key, lenString value)
+//	body     lenBytes
+//
+// where lenString/lenBytes is a uint32 length prefix followed by raw bytes.
+// All integers are big-endian. Bodies are typically JSON produced by
+// EncodeBody, keeping payloads debuggable; the envelope itself stays binary
+// so framing is unambiguous.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Version is the current envelope format version.
+const Version = 1
+
+const magic uint16 = 0x0D9
+
+// Maximum sizes guard against corrupt length prefixes.
+const (
+	maxStringLen = 1 << 16
+	maxBodyLen   = 1 << 26 // 64 MiB
+	maxHeaders   = 1 << 12
+)
+
+// Envelope is the unit framed onto the simulated network.
+type Envelope struct {
+	Version byte
+	Kind    string
+	Corr    string
+	Headers map[string]string
+	Body    []byte
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrTruncated  = errors.New("wire: truncated envelope")
+	ErrOversize   = errors.New("wire: field exceeds size limit")
+)
+
+// NewEnvelope builds an envelope of the current version.
+func NewEnvelope(kind, corr string, body []byte) *Envelope {
+	return &Envelope{Version: Version, Kind: kind, Corr: corr, Body: body}
+}
+
+// SetHeader sets a header, allocating the map on first use.
+func (e *Envelope) SetHeader(k, v string) {
+	if e.Headers == nil {
+		e.Headers = make(map[string]string)
+	}
+	e.Headers[k] = v
+}
+
+// Header returns the header value and whether it was present.
+func (e *Envelope) Header(k string) (string, bool) {
+	v, ok := e.Headers[k]
+	return v, ok
+}
+
+// Marshal encodes the envelope to bytes. Headers are written in sorted key
+// order so encoding is deterministic.
+func Marshal(e *Envelope) ([]byte, error) {
+	if len(e.Kind) >= maxStringLen || len(e.Corr) >= maxStringLen {
+		return nil, fmt.Errorf("%w: kind or corr too long", ErrOversize)
+	}
+	if len(e.Body) >= maxBodyLen {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrOversize, len(e.Body))
+	}
+	if len(e.Headers) >= maxHeaders {
+		return nil, fmt.Errorf("%w: %d headers", ErrOversize, len(e.Headers))
+	}
+	var buf bytes.Buffer
+	writeU16 := func(v uint16) {
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], v)
+		buf.Write(b[:])
+	}
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	writeStr := func(s string) {
+		writeU32(uint32(len(s)))
+		buf.WriteString(s)
+	}
+	writeU16(magic)
+	version := e.Version
+	if version == 0 {
+		version = Version
+	}
+	buf.WriteByte(version)
+	writeStr(e.Kind)
+	writeStr(e.Corr)
+	keys := make([]string, 0, len(e.Headers))
+	for k := range e.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeU16(uint16(len(keys)))
+	for _, k := range keys {
+		if len(k) >= maxStringLen || len(e.Headers[k]) >= maxStringLen {
+			return nil, fmt.Errorf("%w: header %q", ErrOversize, k)
+		}
+		writeStr(k)
+		writeStr(e.Headers[k])
+	}
+	writeU32(uint32(len(e.Body)))
+	buf.Write(e.Body)
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes an envelope from bytes.
+func Unmarshal(data []byte) (*Envelope, error) {
+	r := &reader{data: data}
+	m, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver == 0 || ver > Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	e := &Envelope{Version: ver}
+	if e.Kind, err = r.str(); err != nil {
+		return nil, err
+	}
+	if e.Corr, err = r.str(); err != nil {
+		return nil, err
+	}
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		if n >= maxHeaders {
+			return nil, fmt.Errorf("%w: %d headers", ErrOversize, n)
+		}
+		e.Headers = make(map[string]string, n)
+		for i := 0; i < int(n); i++ {
+			k, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			e.Headers[k] = v
+		}
+	}
+	body, err := r.bytes(maxBodyLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 0 {
+		e.Body = body
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(r.data)-r.pos)
+	}
+	return e, nil
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos+1 > len(r.data) {
+		return 0, ErrTruncated
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.pos+2 > len(r.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.pos+4 > len(r.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.bytesLimited(maxStringLen)
+	return string(b), err
+}
+
+func (r *reader) bytes(limit int) ([]byte, error) {
+	return r.bytesLimited(limit)
+}
+
+func (r *reader) bytesLimited(limit int) ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) >= limit {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, n)
+	}
+	if r.pos+int(n) > len(r.data) {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, r.data[r.pos:r.pos+int(n)])
+	r.pos += int(n)
+	return out, nil
+}
+
+// EncodeBody marshals v as JSON for use as an envelope body.
+func EncodeBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode body: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeBody unmarshals an envelope body produced by EncodeBody into v.
+func DecodeBody(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("wire: decode body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		env  *Envelope
+	}{
+		{"minimal", NewEnvelope("ping", "c1", nil)},
+		{"with body", NewEnvelope("rpc.req", "c2", []byte(`{"x":1}`))},
+		{"empty strings", NewEnvelope("", "", nil)},
+		{"unicode", NewEnvelope("kïnd", "çorr", []byte("héllo wörld"))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tt.env.SetHeader("from", "node-a")
+			tt.env.SetHeader("to", "node-b")
+			data, err := Marshal(tt.env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Unmarshal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != tt.env.Kind || got.Corr != tt.env.Corr {
+				t.Fatalf("got %+v, want %+v", got, tt.env)
+			}
+			if !bytes.Equal(got.Body, tt.env.Body) {
+				t.Fatalf("body %q, want %q", got.Body, tt.env.Body)
+			}
+			if !reflect.DeepEqual(got.Headers, tt.env.Headers) {
+				t.Fatalf("headers %v, want %v", got.Headers, tt.env.Headers)
+			}
+		})
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	e := NewEnvelope("k", "c", []byte("b"))
+	for _, h := range []string{"z", "a", "m", "b", "q"} {
+		e.SetHeader(h, h+"-value")
+	}
+	first, err := Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatal("Marshal is not deterministic across calls")
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, err := Marshal(NewEnvelope("k", "c", []byte("body")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad magic", []byte{0xFF, 0xFF, 1}, ErrBadMagic},
+		{"truncated mid-envelope", good[:len(good)-3], ErrTruncated},
+		{"version zero", append([]byte{good[0], good[1], 0}, good[3:]...), ErrBadVersion},
+		{"future version", append([]byte{good[0], good[1], 99}, good[3:]...), ErrBadVersion},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Unmarshal(tt.data)
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("Unmarshal error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	good, err := Marshal(NewEnvelope("k", "c", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(good, 0x00)); err == nil {
+		t.Fatal("envelope with trailing bytes accepted")
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	e := NewEnvelope(strings.Repeat("k", maxStringLen), "c", nil)
+	if _, err := Marshal(e); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize kind: err = %v, want ErrOversize", err)
+	}
+	e2 := NewEnvelope("k", "c", make([]byte, maxBodyLen))
+	if _, err := Marshal(e2); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize body: err = %v, want ErrOversize", err)
+	}
+}
+
+func TestVersionDefaulted(t *testing.T) {
+	data, err := Marshal(&Envelope{Kind: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != Version {
+		t.Fatalf("Version = %d, want %d", e.Version, Version)
+	}
+}
+
+func TestBodyHelpers(t *testing.T) {
+	type payload struct {
+		Name  string   `json:"name"`
+		Count int      `json:"count"`
+		Tags  []string `json:"tags"`
+	}
+	in := payload{Name: "report", Count: 3, Tags: []string{"draft", "shared"}}
+	b, err := EncodeBody(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := DecodeBody(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round-trip = %+v, want %+v", out, in)
+	}
+	if err := DecodeBody([]byte("{not json"), &out); err == nil {
+		t.Fatal("DecodeBody accepted invalid JSON")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(kind, corr string, hk, hv string, body []byte) bool {
+		if len(kind) >= maxStringLen || len(corr) >= maxStringLen ||
+			len(hk) >= maxStringLen || len(hv) >= maxStringLen || len(body) >= maxBodyLen {
+			return true // out of scope
+		}
+		e := NewEnvelope(kind, corr, body)
+		e.SetHeader(hk, hv)
+		data, err := Marshal(e)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		v, _ := got.Header(hk)
+		return got.Kind == kind && got.Corr == corr && bytes.Equal(got.Body, body) && v == hv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		// Any input must either parse or error; never panic.
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

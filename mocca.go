@@ -1,0 +1,261 @@
+// Package mocca is the public API of the Open CSCW environment — a Go
+// reproduction of the system envisioned in "Open CSCW Systems: Will ODP
+// help?" (Navarro, Prinz, Rodden; ICDCS 1992).
+//
+// The package assembles a complete simulated deployment: an ODP-style
+// substrate (simulated network, rpc, X.500-style directory, ODP trader,
+// X.400-style message handling, synchronous conferencing) with the MOCCA
+// CSCW environment on top (organisational, inter-activity, information,
+// communication, and user-expertise models; role-based access control;
+// user-selectable transparency; an ECA tailorability engine).
+//
+// Quickstart:
+//
+//	dep := mocca.NewDeployment(mocca.WithSeed(1))
+//	site := dep.AddSite("gmd", "gmd.de")
+//	ua := site.AddUser("prinz")
+//	...
+//	dep.Run() // drain the simulated network to quiescence
+//
+// See examples/ for complete programs.
+package mocca
+
+import (
+	"fmt"
+	"time"
+
+	"mocca/internal/comm"
+	"mocca/internal/core"
+	"mocca/internal/directory"
+	"mocca/internal/id"
+	"mocca/internal/mhs"
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+	"mocca/internal/rtc"
+	"mocca/internal/trader"
+	"mocca/internal/vclock"
+)
+
+// Re-exported core types, so applications program against the root package.
+type (
+	// Environment is the CSCW environment (figure 3/4 of the paper).
+	Environment = core.Environment
+	// Application describes a registering CSCW application.
+	Application = core.Application
+	// Message is the communication-model exchange unit.
+	Message = comm.Message
+	// ORName is an X.400-style originator/recipient name.
+	ORName = mhs.ORName
+	// UserAgent is an MHS submission/retrieval agent.
+	UserAgent = mhs.UserAgent
+	// ConferenceSession is a synchronous conferencing client.
+	ConferenceSession = rtc.Session
+)
+
+// SharedSchemaName is the environment's interchange schema.
+const SharedSchemaName = core.SharedSchemaName
+
+// Conference modes.
+const (
+	// ConferenceOpen lets any member update shared state.
+	ConferenceOpen = rtc.ModeOpen
+	// ConferenceModerated requires holding the floor to update.
+	ConferenceModerated = rtc.ModeFloor
+)
+
+// Option configures a Deployment.
+type Option func(*Deployment)
+
+// WithSeed fixes the simulation seed (default 1992).
+func WithSeed(seed int64) Option {
+	return func(d *Deployment) { d.seed = seed }
+}
+
+// WithDefaultLink sets network characteristics between sites.
+func WithDefaultLink(latency time.Duration, loss float64) Option {
+	return func(d *Deployment) {
+		d.link = netsim.LinkProfile{Latency: latency, Loss: loss}
+	}
+}
+
+// Deployment is a full simulated multi-site installation.
+type Deployment struct {
+	seed int64
+	link netsim.LinkProfile
+
+	clock *vclock.Simulated
+	net   *netsim.Network
+	env   *core.Environment
+	ids   *id.Generator
+
+	mcu   *rtc.Server
+	sites map[string]*Site
+}
+
+// Site is one organisation's installation: an MTA plus local users.
+type Site struct {
+	Name   string
+	Domain string
+
+	dep *Deployment
+	mta *mhs.MTA
+}
+
+// NewDeployment builds the simulated substrate and environment.
+func NewDeployment(opts ...Option) *Deployment {
+	d := &Deployment{
+		seed:  1992,
+		link:  netsim.LinkProfile{Latency: 20 * time.Millisecond},
+		sites: make(map[string]*Site),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	d.clock = vclock.NewSimulated(netsim.DefaultEpoch)
+	d.net = netsim.New(
+		netsim.WithClock(d.clock),
+		netsim.WithSeed(d.seed),
+		netsim.WithDefaultLink(d.link),
+	)
+	d.ids = id.NewSeeded(d.seed)
+	d.env = core.New(d.clock, core.WithIDs(d.ids))
+
+	mcuEP := rpc.NewEndpoint(d.net.MustAddNode("mcu"), d.clock, rpc.WithIDs(d.ids))
+	d.mcu = rtc.NewServer(mcuEP, d.clock, rtc.WithIDs(d.ids))
+	return d
+}
+
+// Env returns the CSCW environment.
+func (d *Deployment) Env() *core.Environment { return d.env }
+
+// Conferencing returns the synchronous conference server.
+func (d *Deployment) Conferencing() *rtc.Server { return d.mcu }
+
+// Network returns the simulated network (for partitions, stats).
+func (d *Deployment) Network() *netsim.Network { return d.net }
+
+// Clock returns the simulated clock.
+func (d *Deployment) Clock() *vclock.Simulated { return d.clock }
+
+// AddSite creates a site: one MTA serving the given domain, routed to all
+// existing sites (full mesh).
+func (d *Deployment) AddSite(name, domain string) *Site {
+	addr := netsim.Address("mta-" + name)
+	ep := rpc.NewEndpoint(d.net.MustAddNode(addr), d.clock, rpc.WithIDs(d.ids))
+	mta := mhs.NewMTA(string(addr), domain, ep, d.clock, mhs.WithIDs(d.ids))
+	site := &Site{Name: name, Domain: domain, dep: d, mta: mta}
+	for _, other := range d.sites {
+		mta.AddRoute(other.Domain, other.mta.Addr())
+		other.mta.AddRoute(domain, mta.Addr())
+	}
+	d.sites[name] = site
+	return site
+}
+
+// Site returns a site by name.
+func (d *Deployment) Site(name string) (*Site, bool) {
+	s, ok := d.sites[name]
+	return s, ok
+}
+
+// AddUser provisions a user at the site: an MHS mailbox plus registration
+// with the communication hub.
+func (s *Site) AddUser(personal string) *mhs.UserAgent {
+	ua := mhs.NewUserAgent(normalizeOR(personal, s.Domain), s.mta)
+	s.dep.env.Hub().Register(personal, ua)
+	return ua
+}
+
+// normalizeOR builds an O/R name within a routing domain of the form
+// "org" or "org.country".
+func normalizeOR(personal, domain string) mhs.ORName {
+	or := mhs.ORName{Personal: personal, Org: domain}
+	if i := lastDot(domain); i > 0 {
+		or.Org = domain[:i]
+		or.Country = domain[i+1:]
+	}
+	return or
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// MTA exposes the site's message transfer agent.
+func (s *Site) MTA() *mhs.MTA { return s.mta }
+
+// JoinConference creates a session for a member at their own node and
+// joins it, driving the simulated clock until the join completes.
+func (d *Deployment) JoinConference(conferenceID, member string, opts ...rtc.SessionOption) (*rtc.Session, error) {
+	nodeAddr := netsim.Address("user-" + member)
+	node, err := d.net.AddNode(nodeAddr)
+	if err != nil {
+		// Node may exist from a previous session of the same user.
+		existing, ok := d.net.Node(nodeAddr)
+		if !ok {
+			return nil, err
+		}
+		node = existing
+	}
+	ep := rpc.NewEndpoint(node, d.clock, rpc.WithIDs(d.ids))
+	sess := rtc.NewSession(ep, d.clock, "mcu", conferenceID, member, opts...)
+	if err := d.drive(sess.Join); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// Do runs a blocking operation against the deployment, advancing simulated
+// time until it completes. Use it for Session and Client calls from
+// example programs.
+func (d *Deployment) Do(op func() error) error { return d.drive(op) }
+
+// Run drains the simulated network to quiescence.
+func (d *Deployment) Run() { d.clock.RunUntilIdle() }
+
+// Advance moves simulated time forward, delivering due events.
+func (d *Deployment) Advance(dur time.Duration) { d.clock.Advance(dur) }
+
+// drive executes op on a helper goroutine while this goroutine advances
+// the clock.
+func (d *Deployment) drive(op func() error) error {
+	done := make(chan error, 1)
+	go func() { done <- op() }()
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			return err
+		default:
+			time.Sleep(100 * time.Microsecond)
+			d.clock.Advance(10 * time.Millisecond)
+			if i > 200000 {
+				return fmt.Errorf("mocca: operation did not complete")
+			}
+		}
+	}
+}
+
+// RegisterTradingService exports a service offer into the environment's
+// trader under a service type (registering the type on first use).
+func (d *Deployment) RegisterTradingService(serviceType, offerID string, provider string, props map[string]string) error {
+	tr := d.env.Trader()
+	if !tr.HasType(serviceType) {
+		if err := tr.RegisterType(serviceType); err != nil {
+			return err
+		}
+	}
+	offer := trader.Offer{ID: offerID, ServiceType: serviceType, Provider: netsim.Address(provider)}
+	if len(props) > 0 {
+		attrs := make(directory.Attributes, len(props))
+		for k, v := range props {
+			attrs.Add(k, v)
+		}
+		offer.Properties = attrs
+	}
+	return tr.Export(offer)
+}

@@ -1,0 +1,107 @@
+package mocca
+
+import (
+	"testing"
+
+	"mocca/internal/information"
+	"mocca/internal/transparency"
+)
+
+func TestDeploymentEndToEnd(t *testing.T) {
+	dep := NewDeployment(WithSeed(7))
+	gmd := dep.AddSite("gmd", "gmd.de")
+	upc := dep.AddSite("upc", "upc.es")
+
+	prinz := gmd.AddUser("prinz")
+	navarro := upc.AddUser("navarro")
+
+	// Cross-site asynchronous mail works out of the box.
+	if _, err := prinz.Send([]ORName{navarro.Name}, "hello", "from bonn"); err != nil {
+		t.Fatal(err)
+	}
+	dep.Run()
+	if navarro.Unread() != 1 {
+		t.Fatalf("navarro unread = %d", navarro.Unread())
+	}
+
+	// The communication hub routes with temporal transparency.
+	mode, err := dep.Env().Hub().Send(Message{From: "prinz", To: "navarro", Subject: "via hub", Body: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != transparency.ModeAsync {
+		t.Fatalf("mode = %v", mode)
+	}
+	dep.Run()
+	if navarro.Unread() != 2 {
+		t.Fatalf("navarro unread after hub send = %d", navarro.Unread())
+	}
+}
+
+func TestDeploymentConference(t *testing.T) {
+	dep := NewDeployment()
+	cid, err := dep.Conferencing().CreateConference("standup", ConferenceOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dep.JoinConference(cid, "ada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dep.JoinConference(cid, "ben")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Do(func() error { return a.Set("topic", "blockers") }); err != nil {
+		t.Fatal(err)
+	}
+	dep.Run()
+	if b.Get("topic") != "blockers" {
+		t.Fatalf("replica = %q", b.Get("topic"))
+	}
+}
+
+func TestDeploymentAppRegistration(t *testing.T) {
+	dep := NewDeployment()
+	err := dep.Env().RegisterApplication(Application{
+		Name:     "notes",
+		Quadrant: "different-time/different-place",
+		Schema: information.Schema{Name: "note", Fields: []information.Field{
+			{Name: "head", Type: information.FieldText, Required: true},
+		}},
+		ToShared: func(in map[string]string) (map[string]string, error) {
+			return map[string]string{"title": in["head"]}, nil
+		},
+		FromShared: func(in map[string]string) (map[string]string, error) {
+			return map[string]string{"head": in["title"]}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := dep.Env().Space().Put("ada", "note", map[string]string{"head": "try odp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := dep.Env().Space().GetAs("ada", obj.ID, SharedSchemaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Fields["title"] != "try odp" {
+		t.Fatalf("shared = %v", shared.Fields)
+	}
+}
+
+func TestRegisterTradingService(t *testing.T) {
+	dep := NewDeployment()
+	if err := dep.RegisterTradingService("printing", "o1", "ps-node", map[string]string{"ppm": "10"}); err != nil {
+		t.Fatal(err)
+	}
+	// Second offer reuses the registered type.
+	if err := dep.RegisterTradingService("printing", "o2", "ps-node-2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if dep.Env().Trader().Len() != 2 {
+		t.Fatalf("offers = %d", dep.Env().Trader().Len())
+	}
+}
