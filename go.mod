@@ -1,0 +1,3 @@
+module mocca
+
+go 1.24

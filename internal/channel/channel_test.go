@@ -1,0 +1,334 @@
+package channel
+
+import (
+	"errors"
+	"testing"
+
+	"mocca/internal/netsim"
+	"mocca/internal/odp"
+	"mocca/internal/vclock"
+	"mocca/internal/wire"
+)
+
+func newPair(t *testing.T, aOpts, bOpts []Option) (*vclock.Simulated, *netsim.Network, *Stack, *Stack) {
+	t.Helper()
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(1))
+	a := New(net.MustAddNode("a"), aOpts...)
+	b := New(net.MustAddNode("b"), bOpts...)
+	return clk, net, a, b
+}
+
+func TestSendReceiveRoundTrip(t *testing.T) {
+	clk, net, a, b := newPair(t, nil, nil)
+	var got *wire.Envelope
+	var from netsim.Address
+	b.Handle(func(f netsim.Address, env *wire.Envelope) { from, got = f, env })
+
+	env := wire.NewEnvelope("test.kind", "c1", []byte("payload"))
+	env.SetHeader("method", "m")
+	if err := a.Send("b", env); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+
+	if got == nil {
+		t.Fatal("no envelope received")
+	}
+	if from != "a" || got.Kind != "test.kind" || got.Corr != "c1" || string(got.Body) != "payload" {
+		t.Fatalf("received %v from %q", got, from)
+	}
+	if m, _ := got.Header("method"); m != "m" {
+		t.Fatalf("method header = %q", m)
+	}
+
+	// Per-channel stats reconcile with the network's own accounting.
+	as, bs := a.Stats("b"), b.Stats("a")
+	if as.FramesOut != 1 || bs.FramesIn != 1 {
+		t.Fatalf("frames: out=%d in=%d", as.FramesOut, bs.FramesIn)
+	}
+	ns := net.Stats()
+	if as.BytesOut != ns.Bytes || bs.BytesIn != ns.Bytes {
+		t.Fatalf("bytes: out=%d in=%d net=%d", as.BytesOut, bs.BytesIn, ns.Bytes)
+	}
+}
+
+func TestInterceptorOrderAndDrop(t *testing.T) {
+	var order []string
+	first := func(f *Frame) error { order = append(order, "first:"+f.Dir.String()); return nil }
+	second := func(f *Frame) error { order = append(order, "second:"+f.Dir.String()); return nil }
+
+	clk, _, a, b := newPair(t,
+		[]Option{WithInterceptor(first), WithInterceptor(second)},
+		nil)
+	delivered := 0
+	b.Handle(func(netsim.Address, *wire.Envelope) { delivered++ })
+
+	if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+	if len(order) != 2 || order[0] != "first:outbound" || order[1] != "second:outbound" {
+		t.Fatalf("order = %v", order)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+}
+
+func TestDropFrameIsSilent(t *testing.T) {
+	clk, net, a, b := newPair(t,
+		[]Option{DropIfOption(func(f *Frame) bool { return f.Env.Kind == "drop.me" })},
+		nil)
+	delivered := 0
+	b.Handle(func(netsim.Address, *wire.Envelope) { delivered++ })
+
+	if err := a.Send("b", wire.NewEnvelope("drop.me", "", nil)); err != nil {
+		t.Fatalf("dropped frame surfaced error: %v", err)
+	}
+	if err := a.Send("b", wire.NewEnvelope("keep.me", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if st := a.Stats("b"); st.DroppedOut != 1 || st.FramesOut != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if net.Stats().Sent != 1 {
+		t.Fatalf("dropped frame reached the network: %+v", net.Stats())
+	}
+}
+
+// DropIfOption adapts DropIf for option lists in tests.
+func DropIfOption(pred func(*Frame) bool) Option {
+	return WithInterceptor(DropIf(pred))
+}
+
+func TestInboundInterceptorError(t *testing.T) {
+	clk, _, a, b := newPair(t, nil,
+		[]Option{WithInterceptor(func(f *Frame) error {
+			if f.Dir == Inbound {
+				return errors.New("rejected")
+			}
+			return nil
+		})})
+	delivered := 0
+	b.Handle(func(netsim.Address, *wire.Envelope) { delivered++ })
+
+	if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("rejected frame delivered")
+	}
+	if st := b.Stats("a"); st.DroppedIn != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBinderRebindAdoptedByPeer(t *testing.T) {
+	clk, _, a, b := newPair(t, nil, nil)
+	b.Handle(func(netsim.Address, *wire.Envelope) {})
+
+	if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+	if e := b.Epoch("a"); e != 1 {
+		t.Fatalf("epoch before rebind = %d", e)
+	}
+
+	// The server migrated/failed over: the client re-establishes.
+	if e := a.Rebind("b"); e != 2 {
+		t.Fatalf("Rebind = %d", e)
+	}
+	if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+
+	if e := b.Epoch("a"); e != 2 {
+		t.Fatalf("peer epoch = %d, want 2", e)
+	}
+	if st := b.Stats("a"); st.Rebinds != 1 || st.FramesIn != 2 {
+		t.Fatalf("peer stats = %+v", st)
+	}
+}
+
+func TestBinderStaleEpoch(t *testing.T) {
+	var b Binder
+	b.init()
+	if adopted, stale := b.observe("x", 3); !adopted || stale {
+		t.Fatalf("observe(3) = %v,%v", adopted, stale)
+	}
+	if adopted, stale := b.observe("x", 2); adopted || !stale {
+		t.Fatalf("observe(2) after 3 = %v,%v", adopted, stale)
+	}
+	if adopted, stale := b.observe("x", 3); adopted || stale {
+		t.Fatalf("observe(3) steady state = %v,%v", adopted, stale)
+	}
+}
+
+func TestStaleFrameDiscarded(t *testing.T) {
+	clk, _, a, b := newPair(t, nil, nil)
+	delivered := 0
+	b.Handle(func(netsim.Address, *wire.Envelope) { delivered++ })
+
+	// Peer's binder has already adopted epoch 5 for "a".
+	b.Epoch("a") // no-op read
+	bStack := b
+	bStack.binder.observe("a", 5)
+
+	// A frame from the old epoch-1 binding must be discarded as stale.
+	if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("stale frame delivered")
+	}
+	if st := b.Stats("a"); st.StaleIn != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTransparencyDeclarationAndGate(t *testing.T) {
+	mask := odp.MaskOf(odp.Access, odp.Location, odp.Failure)
+	clk, _, a, b := newPair(t,
+		[]Option{WithTransparencies(mask)},
+		[]Option{WithInterceptor(TransparencyGate(odp.MaskOf(odp.Access)))})
+	var got *wire.Envelope
+	b.Handle(func(_ netsim.Address, env *wire.Envelope) { got = env })
+
+	if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+	if got == nil {
+		t.Fatal("gated frame not delivered despite satisfying mask")
+	}
+	declared, _ := got.Header(MaskHeader)
+	m, err := odp.ParseMask(declared)
+	if err != nil || m != mask {
+		t.Fatalf("declared mask %q parsed to %v (err %v)", declared, m, err)
+	}
+}
+
+func TestTransparencyGateRejects(t *testing.T) {
+	clk, _, a, b := newPair(t,
+		[]Option{WithTransparencies(odp.MaskOf(odp.Access))},
+		[]Option{WithInterceptor(TransparencyGate(odp.MaskOf(odp.Migration)))})
+	delivered := 0
+	b.Handle(func(netsim.Address, *wire.Envelope) { delivered++ })
+
+	if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("frame lacking required transparency delivered")
+	}
+	if st := b.Stats("a"); st.DroppedIn != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFailureInjectorDeterministic(t *testing.T) {
+	run := func() int {
+		clk, _, a, b := newPair(t, []Option{WithInterceptor(FailureInjector(42, 0.5))}, nil)
+		delivered := 0
+		b.Handle(func(netsim.Address, *wire.Envelope) { delivered++ })
+		for i := 0; i < 100; i++ {
+			if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clk.RunUntilIdle()
+		return delivered
+	}
+	first := run()
+	if first == 0 || first == 100 {
+		t.Fatalf("injector at rate 0.5 delivered %d/100", first)
+	}
+	if again := run(); again != first {
+		t.Fatalf("injection not deterministic: %d then %d", first, again)
+	}
+}
+
+type recordingObserver struct {
+	bound, rebound    int
+	sent, received    int
+	bytesOut, bytesIn int
+	discarded         int
+	discardReasons    []string
+}
+
+func (r *recordingObserver) ChannelBound(_, _ string, _ uint64)   { r.bound++ }
+func (r *recordingObserver) ChannelRebound(_, _ string, _ uint64) { r.rebound++ }
+func (r *recordingObserver) FrameSent(_, _ string, n int)         { r.sent++; r.bytesOut += n }
+func (r *recordingObserver) FrameReceived(_, _ string, n int)     { r.received++; r.bytesIn += n }
+func (r *recordingObserver) FrameDiscarded(_, _ string, _ int, reason string) {
+	r.discarded++
+	r.discardReasons = append(r.discardReasons, reason)
+}
+
+func TestObserverNotified(t *testing.T) {
+	obs := &recordingObserver{}
+	clk, net, a, b := newPair(t, []Option{WithObserver(obs)}, []Option{WithObserver(obs)})
+	b.Handle(func(netsim.Address, *wire.Envelope) {})
+
+	for i := 0; i < 3; i++ {
+		if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.RunUntilIdle()
+
+	if obs.bound != 1 || obs.sent != 3 || obs.received != 3 {
+		t.Fatalf("observer = %+v", obs)
+	}
+	ns := net.Stats()
+	if int64(obs.bytesOut) != ns.Bytes || int64(obs.bytesIn) != ns.Bytes {
+		t.Fatalf("observer bytes %d/%d, network %d", obs.bytesOut, obs.bytesIn, ns.Bytes)
+	}
+}
+
+// TestObserverSeesDiscards: frames the network delivers but the stack
+// drops (stale epoch, interceptor veto) are reported to the observer, so
+// delivered-frame accounting stays reconcilable.
+func TestObserverSeesDiscards(t *testing.T) {
+	obs := &recordingObserver{}
+	clk, net, a, b := newPair(t, nil, []Option{
+		WithObserver(obs),
+		WithInterceptor(DropIf(func(f *Frame) bool {
+			return f.Dir == Inbound && f.Env.Kind == "veto.me"
+		})),
+	})
+	b.Handle(func(netsim.Address, *wire.Envelope) {})
+
+	// Interceptor veto.
+	if err := a.Send("b", wire.NewEnvelope("veto.me", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+	// Stale epoch: b's binder already adopted epoch 5 for a.
+	b.binder.observe("a", 5)
+	if err := a.Send("b", wire.NewEnvelope("k", "", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+
+	if obs.discarded != 2 || obs.received != 0 {
+		t.Fatalf("observer = %+v", obs)
+	}
+	if obs.discardReasons[0] != "interceptor" || obs.discardReasons[1] != "stale-epoch" {
+		t.Fatalf("reasons = %v", obs.discardReasons)
+	}
+	if ns := net.Stats(); ns.Delivered != 2 {
+		t.Fatalf("network delivered = %d", ns.Delivered)
+	}
+}

@@ -1,7 +1,6 @@
 package directory
 
 import (
-	"fmt"
 	"time"
 
 	"mocca/internal/netsim"
@@ -358,12 +357,9 @@ func (sh *Shadow) tick() {
 func (sh *Shadow) SyncOnce() {
 	after := sh.local.LastSeq()
 	sh.endpoint.GoJSON(sh.master, MethodChanges, changesReq{After: after}, func(r rpc.Result) {
-		if r.Err != nil {
-			return // transient; next tick retries
-		}
 		var resp changesResp
-		if err := decodeResult(r, &resp); err != nil {
-			return
+		if err := r.Decode(&resp); err != nil {
+			return // transient; next tick retries
 		}
 		for _, ch := range resp.Changes {
 			if err := sh.local.Apply(ch); err != nil {
@@ -380,11 +376,8 @@ func (sh *Shadow) SyncOnce() {
 
 func (sh *Shadow) fullResync() {
 	sh.endpoint.GoJSON(sh.master, MethodSnapshot, struct{}{}, func(r rpc.Result) {
-		if r.Err != nil {
-			return
-		}
 		var resp snapshotResp
-		if err := decodeResult(r, &resp); err != nil {
+		if err := r.Decode(&resp); err != nil {
 			return
 		}
 		entries := make([]*Entry, 0, len(resp.Entries))
@@ -397,11 +390,4 @@ func (sh *Shadow) fullResync() {
 		}
 		_ = sh.local.LoadSnapshot(entries, resp.Seq)
 	})
-}
-
-func decodeResult(r rpc.Result, v any) error {
-	if len(r.Body) == 0 {
-		return fmt.Errorf("directory: empty reply body")
-	}
-	return decodeJSON(r.Body, v)
 }

@@ -1,0 +1,200 @@
+package engineering
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ChannelInfo describes one live transport channel as the engineering
+// viewpoint records it: the bound interfaces, the binding epoch, and the
+// traffic the channel has carried.
+type ChannelInfo struct {
+	Local, Remote string
+	Epoch         uint64
+	Rebinds       int64
+	FramesOut     int64
+	FramesIn      int64
+	BytesOut      int64
+	BytesIn       int64
+	// DiscardsIn/DiscardBytesIn count frames the network delivered but the
+	// channel stack dropped before the receiver (decode errors, stale
+	// epochs, interceptor vetoes).
+	DiscardsIn     int64
+	DiscardBytesIn int64
+}
+
+// FabricTotals aggregates a fabric's channel counters.
+type FabricTotals struct {
+	Nodes          int
+	Channels       int
+	FramesOut      int64
+	FramesIn       int64
+	BytesOut       int64
+	BytesIn        int64
+	DiscardsIn     int64
+	DiscardBytesIn int64
+}
+
+// Fabric mirrors the live channel stacks of a running deployment into
+// engineering-viewpoint bookkeeping: every network address becomes a Node
+// hosting a "transport" capsule, and every binding a stack establishes
+// becomes a channel record here. It implements the channel package's
+// Observer contract structurally (string addresses, int sizes), so the
+// engineering layer needs no dependency on the transport packages.
+//
+// Because the channel stack is the only path to the network, a fabric
+// observing every stack sees every frame: Reconcile checks its totals
+// against netsim's own counters and any disagreement means traffic
+// bypassed the engineering channel.
+type Fabric struct {
+	mu       sync.Mutex
+	nodes    map[string]*Node
+	channels map[fabricKey]*ChannelInfo
+}
+
+type fabricKey struct{ local, remote string }
+
+// NewFabric creates an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{
+		nodes:    make(map[string]*Node),
+		channels: make(map[fabricKey]*ChannelInfo),
+	}
+}
+
+// nodeLocked ensures the engineering Node (with its transport capsule) for
+// an address. Caller holds f.mu.
+func (f *Fabric) nodeLocked(addr string) *Node {
+	n, ok := f.nodes[addr]
+	if !ok {
+		n = NewNode(addr)
+		if _, err := n.NewCapsule("transport"); err != nil {
+			panic(err) // fresh node: cannot collide
+		}
+		f.nodes[addr] = n
+	}
+	return n
+}
+
+// channelLocked ensures the record for a (local, remote) binding. Caller
+// holds f.mu.
+func (f *Fabric) channelLocked(local, remote string) *ChannelInfo {
+	key := fabricKey{local, remote}
+	c, ok := f.channels[key]
+	if !ok {
+		f.nodeLocked(local)
+		c = &ChannelInfo{Local: local, Remote: remote, Epoch: 1}
+		f.channels[key] = c
+	}
+	return c
+}
+
+// ChannelBound records a newly established binding at the given epoch.
+func (f *Fabric) ChannelBound(local, remote string, epoch uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.channelLocked(local, remote)
+	c.Epoch = epoch
+}
+
+// ChannelRebound records an epoch change (migration/failover rebinding).
+func (f *Fabric) ChannelRebound(local, remote string, epoch uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.channelLocked(local, remote)
+	c.Epoch = epoch
+	c.Rebinds++
+}
+
+// FrameSent records one frame put on the wire by local toward remote.
+func (f *Fabric) FrameSent(local, remote string, wireBytes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.channelLocked(local, remote)
+	c.FramesOut++
+	c.BytesOut += int64(wireBytes)
+}
+
+// FrameReceived records one frame delivered to local from remote.
+func (f *Fabric) FrameReceived(local, remote string, wireBytes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.channelLocked(local, remote)
+	c.FramesIn++
+	c.BytesIn += int64(wireBytes)
+}
+
+// FrameDiscarded records a frame the network delivered to local but the
+// channel stack dropped before the receiver.
+func (f *Fabric) FrameDiscarded(local, remote string, wireBytes int, _ string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.channelLocked(local, remote)
+	c.DiscardsIn++
+	c.DiscardBytesIn += int64(wireBytes)
+}
+
+// Node returns the engineering node mirroring the given address, if the
+// fabric has seen traffic from it.
+func (f *Fabric) Node(addr string) (*Node, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[addr]
+	return n, ok
+}
+
+// Channels snapshots every live channel, sorted by (local, remote).
+func (f *Fabric) Channels() []ChannelInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ChannelInfo, 0, len(f.channels))
+	for _, c := range f.channels {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Local != out[j].Local {
+			return out[i].Local < out[j].Local
+		}
+		return out[i].Remote < out[j].Remote
+	})
+	return out
+}
+
+// Totals aggregates all channel counters.
+func (f *Fabric) Totals() FabricTotals {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := FabricTotals{Nodes: len(f.nodes), Channels: len(f.channels)}
+	for _, c := range f.channels {
+		t.FramesOut += c.FramesOut
+		t.FramesIn += c.FramesIn
+		t.BytesOut += c.BytesOut
+		t.BytesIn += c.BytesIn
+		t.DiscardsIn += c.DiscardsIn
+		t.DiscardBytesIn += c.DiscardBytesIn
+	}
+	return t
+}
+
+// Reconcile checks the fabric's view against the network's own counters
+// (netsim.Stats fields, passed positionally so this package stays free of
+// transport dependencies). Sent must equal the fabric's frames out —
+// every transmission went through an observed channel — and every frame
+// the network delivered must be accounted for by the channel layer,
+// either received or explicitly discarded (stale epoch, decode error,
+// interceptor veto). A mismatch means traffic bypassed the channel stack.
+func (f *Fabric) Reconcile(netSent, netDelivered, netBytes int64) error {
+	t := f.Totals()
+	if t.FramesOut != netSent {
+		return fmt.Errorf("engineering: fabric saw %d frames out, network sent %d", t.FramesOut, netSent)
+	}
+	if in := t.FramesIn + t.DiscardsIn; in != netDelivered {
+		return fmt.Errorf("engineering: fabric accounted %d delivered frames (%d received + %d discarded), network delivered %d",
+			in, t.FramesIn, t.DiscardsIn, netDelivered)
+	}
+	if in := t.BytesIn + t.DiscardBytesIn; in != netBytes {
+		return fmt.Errorf("engineering: fabric accounted %d delivered bytes, network delivered %d", in, netBytes)
+	}
+	return nil
+}

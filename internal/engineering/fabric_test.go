@@ -1,0 +1,81 @@
+package engineering
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFabricBookkeeping(t *testing.T) {
+	f := NewFabric()
+	f.ChannelBound("a", "b", 1)
+	f.FrameSent("a", "b", 100)
+	f.FrameReceived("b", "a", 100)
+	f.FrameSent("a", "b", 50)
+	f.FrameReceived("b", "a", 50)
+	f.ChannelRebound("a", "b", 2)
+
+	chans := f.Channels()
+	if len(chans) != 2 {
+		t.Fatalf("channels = %d, want 2 (a→b and b←a)", len(chans))
+	}
+	ab := chans[0]
+	if ab.Local != "a" || ab.Remote != "b" || ab.Epoch != 2 || ab.Rebinds != 1 {
+		t.Fatalf("a→b record = %+v", ab)
+	}
+	if ab.FramesOut != 2 || ab.BytesOut != 150 {
+		t.Fatalf("a→b traffic = %+v", ab)
+	}
+	ba := chans[1]
+	if ba.FramesIn != 2 || ba.BytesIn != 150 {
+		t.Fatalf("b←a traffic = %+v", ba)
+	}
+
+	// Each address the fabric has seen locally is an engineering node with
+	// a transport capsule.
+	for _, addr := range []string{"a", "b"} {
+		n, ok := f.Node(addr)
+		if !ok {
+			t.Fatalf("no engineering node for %q", addr)
+		}
+		if caps := n.Capsules(); len(caps) != 1 || caps[0] != "transport" {
+			t.Fatalf("node %q capsules = %v", addr, caps)
+		}
+	}
+
+	totals := f.Totals()
+	if totals.Nodes != 2 || totals.Channels != 2 || totals.FramesOut != 2 || totals.FramesIn != 2 {
+		t.Fatalf("totals = %+v", totals)
+	}
+}
+
+func TestFabricReconcile(t *testing.T) {
+	f := NewFabric()
+	f.FrameSent("a", "b", 64)
+	f.FrameReceived("b", "a", 64)
+
+	if err := f.Reconcile(1, 1, 64); err != nil {
+		t.Fatalf("reconcile failed: %v", err)
+	}
+	err := f.Reconcile(2, 1, 64)
+	if err == nil || !strings.Contains(err.Error(), "network sent 2") {
+		t.Fatalf("mismatch not detected: %v", err)
+	}
+	if err := f.Reconcile(1, 2, 64); err == nil {
+		t.Fatal("delivered mismatch not detected")
+	}
+	if err := f.Reconcile(1, 1, 65); err == nil {
+		t.Fatal("bytes mismatch not detected")
+	}
+
+	// Frames the channel layer discarded (stale epoch, decode error,
+	// interceptor veto) still reconcile: the network delivered them, the
+	// fabric accounts them as discards.
+	f.FrameSent("a", "b", 32)
+	f.FrameDiscarded("b", "a", 32, "stale-epoch")
+	if err := f.Reconcile(2, 2, 96); err != nil {
+		t.Fatalf("reconcile with discard failed: %v", err)
+	}
+	if totals := f.Totals(); totals.DiscardsIn != 1 || totals.DiscardBytesIn != 32 {
+		t.Fatalf("totals = %+v", totals)
+	}
+}

@@ -196,7 +196,7 @@ func (m *MTA) process(env *Envelope) {
 		}
 		remote := env.clone()
 		remote.Recipients = rcpts
-		m.relay(remote, domain, 0)
+		m.relay(remote, domain)
 	}
 }
 
@@ -306,36 +306,53 @@ func (m *MTA) expandDL(env *Envelope, dl ORName, members []ORName) {
 	m.process(expanded)
 }
 
-// relay forwards the envelope toward the next hop for the domain, retrying
-// per the schedule, then issuing a non-delivery report. Loop detection
-// happens on receipt (onTransfer), where a revisited trace is decisive.
-func (m *MTA) relay(env *Envelope, domain string, attempt int) {
+// relay forwards the envelope toward the next hop for the domain. Retries
+// and their spacing are the transport's job now: the rpc layer replays the
+// call per retrySchedule, and the MTA only decides what a final failure
+// means — try a changed route once (failover while the schedule ran), or
+// issue a non-delivery report. Loop detection happens on receipt
+// (onTransfer), where a revisited trace is decisive.
+func (m *MTA) relay(env *Envelope, domain string) {
+	m.relayVia(env, domain, false)
+}
+
+func (m *MTA) relayVia(env *Envelope, domain string, rerouted bool) {
 	m.mu.Lock()
 	next, ok := m.routes[domain]
+	if ok {
+		m.stats.Relayed++
+	}
 	m.mu.Unlock()
 	if !ok {
 		m.nonDeliverAll(env, fmt.Sprintf("%v: %q", ErrNoRoute, domain))
 		return
 	}
-	m.mu.Lock()
-	m.stats.Relayed++
-	if attempt > 0 {
-		m.stats.Retries++
-	}
-	m.mu.Unlock()
 
+	attempts := 1
 	m.endpoint.GoJSON(next, MethodTransfer, wireEnvelope(env), func(r rpc.Result) {
 		if r.Err == nil {
 			return // accepted downstream
 		}
-		if attempt >= len(retrySchedule) {
-			m.nonDeliverAll(env, fmt.Sprintf("transfer to %s failed after %d attempts: %v", next, attempt+1, r.Err))
+		m.mu.Lock()
+		cur, routed := m.routes[domain]
+		m.mu.Unlock()
+		if routed && cur != next && !rerouted {
+			// The domain was re-routed while we were retrying; give the
+			// new next-hop one full schedule before giving up.
+			m.relayVia(env, domain, true)
 			return
 		}
-		m.clock.AfterFunc(retrySchedule[attempt], func() {
-			m.relay(env, domain, attempt+1)
-		})
-	}, rpc.CallTimeout(5*time.Second))
+		m.nonDeliverAll(env, fmt.Sprintf("transfer to %s failed after %d attempts: %v", next, attempts, r.Err))
+	},
+		rpc.CallTimeout(5*time.Second),
+		rpc.CallBackoff(retrySchedule...),
+		rpc.CallOnRetry(func(int) {
+			attempts++
+			m.mu.Lock()
+			m.stats.Retries++
+			m.stats.Relayed++
+			m.mu.Unlock()
+		}))
 }
 
 // nonDeliverAll issues an NDR for every recipient on the envelope.
@@ -386,7 +403,8 @@ func (m *MTA) report(orig *Envelope, rep Report) {
 	if !ok {
 		return // cannot report back; drop
 	}
-	m.endpoint.GoJSON(next, MethodTransfer, wireEnvelope(env), func(rpc.Result) {}, rpc.CallTimeout(5*time.Second))
+	m.endpoint.GoJSON(next, MethodTransfer, wireEnvelope(env), func(rpc.Result) {},
+		rpc.CallTimeout(5*time.Second), rpc.CallBackoff(retrySchedule...))
 }
 
 // storeReport files a report into a local originator's store.

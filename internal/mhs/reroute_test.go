@@ -1,0 +1,70 @@
+package mhs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+)
+
+// TestRerouteDuringRetryWindow: the next-hop for a domain dies, the admin
+// re-routes the domain to a different MTA while the transfer is still
+// inside its retry schedule, and the message must follow the new route
+// instead of bouncing.
+func TestRerouteDuringRetryWindow(t *testing.T) {
+	f := newMHSFixture(t)
+	// Second MTA for upc.es reachable under a different address, same
+	// domain (a warm standby).
+	standbyEP := rpc.NewEndpoint(f.net.MustAddNode("mta-upc2"), f.clk)
+	standby := NewMTA("mta-upc2", "upc.es", standbyEP, f.clk)
+	NewUserAgent(MustParseORName("pn=navarro;o=upc;c=es"), standby)
+
+	// Primary upc MTA goes dark.
+	node, _ := f.net.Node("mta-upc")
+	node.SetDown(true)
+
+	if _, err := f.prinz.Send([]ORName{f.navarro.Name}, "failover", "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Burn the first attempt (5s timeout) and the first backoff retry,
+	// then re-route the domain to the standby before the schedule ends.
+	f.clk.Advance(8 * time.Second)
+	f.gmd.AddRoute("upc.es", "mta-upc2")
+	f.clk.RunUntilIdle()
+
+	msgs, err := standby.List("navarro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("standby mailbox = %d messages, want 1 (message bounced instead of following new route)", len(msgs))
+	}
+	// The originator must NOT hold a non-delivery report.
+	orig, _ := f.prinz.List()
+	for _, m := range orig {
+		if m.IsReport() && m.Report.Kind == ReportNonDelivery {
+			t.Fatalf("NDR issued despite successful failover: %+v", m.Report)
+		}
+	}
+}
+
+// TestNDRAttemptCountAccurate: the non-delivery reason reports how many
+// transfer attempts were actually made.
+func TestNDRAttemptCountAccurate(t *testing.T) {
+	f := newMHSFixture(t)
+	f.net.Partition([]netsim.Address{"mta-gmd"}, []netsim.Address{"mta-upc", "mta-lancs"})
+	if _, err := f.prinz.Send([]ORName{f.navarro.Name}, "doomed", ""); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.RunUntilIdle()
+	msgs, _ := f.prinz.List()
+	if len(msgs) != 1 || !msgs[0].IsReport() {
+		t.Fatalf("want one NDR, got %+v", msgs)
+	}
+	want := "failed after 4 attempts" // initial + 3-entry retry schedule
+	if got := msgs[0].Report.Reason; !strings.Contains(got, want) {
+		t.Fatalf("reason = %q, want it to contain %q", got, want)
+	}
+}

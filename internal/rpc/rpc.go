@@ -10,6 +10,11 @@
 // API is asynchronous (Go with a completion callback). A blocking Call is
 // provided for use under the real clock or when another goroutine drives
 // the simulation.
+//
+// Transport is the engineering-viewpoint channel of internal/channel: the
+// endpoint never touches the network node directly — every request, reply
+// and announcement goes through the channel stack (stubs, binder, protocol
+// object), where interceptors observe all traffic.
 package rpc
 
 import (
@@ -18,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"mocca/internal/channel"
 	"mocca/internal/id"
 	"mocca/internal/netsim"
 	"mocca/internal/vclock"
@@ -74,6 +80,18 @@ type Result struct {
 	Err  error
 }
 
+// Decode unmarshals the JSON reply body into v. It propagates the call
+// error and rejects empty bodies, so callbacks need exactly one check.
+func (r Result) Decode(v any) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if len(r.Body) == 0 {
+		return errors.New("rpc: empty reply body")
+	}
+	return wire.DecodeBody(r.Body, v)
+}
+
 // Stats counts endpoint activity.
 type Stats struct {
 	CallsSent     int64
@@ -102,15 +120,23 @@ func WithIDs(g *id.Generator) Option {
 	return func(e *Endpoint) { e.ids = g }
 }
 
+// WithChannel passes options through to the endpoint's channel stack
+// (interceptors, observers, transparency declarations).
+func WithChannel(opts ...channel.Option) Option {
+	return func(e *Endpoint) { e.chOpts = append(e.chOpts, opts...) }
+}
+
 // Endpoint binds RPC behaviour to a network node: it can both serve methods
-// and invoke remote ones.
+// and invoke remote ones. All traffic flows through the endpoint's channel
+// stack.
 type Endpoint struct {
-	node  *netsim.Node
+	ch    *channel.Stack
 	clock vclock.Clock
 	ids   *id.Generator
 
 	timeout      time.Duration
 	interceptors []Interceptor
+	chOpts       []channel.Option
 
 	mu           sync.Mutex
 	methods      map[string]Handler
@@ -118,6 +144,11 @@ type Endpoint struct {
 	pending      map[string]*pendingCall
 	stats        Stats
 	closed       bool
+
+	// layerMu guards layerState separately from mu so LayerValue init
+	// functions may call back into the endpoint (e.g. Register).
+	layerMu    sync.Mutex
+	layerState map[string]any
 }
 
 type pendingCall struct {
@@ -125,11 +156,11 @@ type pendingCall struct {
 	timer vclock.Timer
 }
 
-// NewEndpoint attaches an endpoint to the node and installs its network
-// handler. One endpoint per node.
+// NewEndpoint attaches an endpoint to the node by building a channel stack
+// over it and installing the endpoint as the stack's receiver. One
+// endpoint per node.
 func NewEndpoint(node *netsim.Node, clock vclock.Clock, opts ...Option) *Endpoint {
 	e := &Endpoint{
-		node:         node,
 		clock:        clock,
 		timeout:      2 * time.Second,
 		methods:      make(map[string]Handler),
@@ -142,12 +173,36 @@ func NewEndpoint(node *netsim.Node, clock vclock.Clock, opts ...Option) *Endpoin
 	if e.ids == nil {
 		e.ids = id.New()
 	}
-	node.Handle(e.onMessage)
+	e.ch = channel.New(node, e.chOpts...)
+	e.ch.Handle(e.onEnvelope)
 	return e
 }
 
 // Addr returns the underlying node address.
-func (e *Endpoint) Addr() netsim.Address { return e.node.Addr() }
+func (e *Endpoint) Addr() netsim.Address { return e.ch.Addr() }
+
+// Channel exposes the endpoint's channel stack (per-channel stats,
+// explicit rebinding after migration/failure).
+func (e *Endpoint) Channel() *channel.Stack { return e.ch }
+
+// LayerValue returns per-endpoint state owned by a higher layer, creating
+// it with init on first use. It exists so layers that multiplex several
+// logical sessions onto one endpoint (e.g. rtc's event demultiplexer) can
+// anchor their state to the endpoint's lifetime instead of a package-level
+// registry.
+func (e *Endpoint) LayerValue(key string, init func() any) any {
+	e.layerMu.Lock()
+	defer e.layerMu.Unlock()
+	if e.layerState == nil {
+		e.layerState = make(map[string]any)
+	}
+	v, ok := e.layerState[key]
+	if !ok {
+		v = init()
+		e.layerState[key] = v
+	}
+	return v
+}
 
 // Register installs a handler for a method name.
 func (e *Endpoint) Register(method string, h Handler) error {
@@ -221,6 +276,9 @@ type CallOption func(*callSettings)
 type callSettings struct {
 	timeout time.Duration
 	retries int
+	backoff []time.Duration
+	onRetry func(attempt int)
+	tries   int // attempts already made
 }
 
 // CallTimeout overrides the endpoint default timeout for one call.
@@ -228,9 +286,29 @@ func CallTimeout(d time.Duration) CallOption {
 	return func(s *callSettings) { s.timeout = d }
 }
 
-// CallRetries retries a timed-out call up to n additional times.
+// CallRetries retries a timed-out call up to n additional times,
+// immediately.
 func CallRetries(n int) CallOption {
 	return func(s *callSettings) { s.retries = n }
+}
+
+// CallBackoff retries a timed-out call once per schedule entry, waiting
+// the entry's duration before each retry — the store-and-forward retry
+// discipline layers like mhs used to hand-roll.
+func CallBackoff(schedule ...time.Duration) CallOption {
+	return func(s *callSettings) {
+		s.backoff = schedule
+		if s.retries < len(schedule) {
+			s.retries = len(schedule)
+		}
+	}
+}
+
+// CallOnRetry registers a callback invoked before each retry attempt
+// (attempt counts from 1), letting callers keep their own retry
+// accounting.
+func CallOnRetry(fn func(attempt int)) CallOption {
+	return func(s *callSettings) { s.onRetry = fn }
 }
 
 // Go invokes method on the remote address asynchronously; done is called
@@ -261,49 +339,83 @@ func (e *Endpoint) attempt(to netsim.Address, method string, body []byte, done f
 
 	env := wire.NewEnvelope(kindRequest, corr, body)
 	env.SetHeader("method", method)
-	data, err := wire.Marshal(env)
-	if err != nil {
-		e.complete(corr, Result{Err: err})
-		return
+	if err := e.ch.Send(to, env); err != nil {
+		// A local transmission failure (node down, interceptor veto)
+		// consumes the same retry budget as a timeout: the condition may
+		// clear before the schedule runs out.
+		pc, ok := e.takePending(corr)
+		if !ok {
+			return
+		}
+		pc.timer.Stop()
+		e.retryOrFail(to, method, body, done, s, err)
 	}
-	if err := e.node.Send(netsim.Message{To: to, Kind: kindRequest, Payload: data}); err != nil {
-		e.complete(corr, Result{Err: err})
+}
+
+// takePending removes and returns the pending call for corr; exactly one
+// of the completion paths (reply, timeout, send failure, Close) wins it.
+func (e *Endpoint) takePending(corr string) (*pendingCall, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pc, ok := e.pending[corr]
+	if ok {
+		delete(e.pending, corr)
 	}
+	return pc, ok
 }
 
 // expire handles a call timeout, retrying if budget remains.
 func (e *Endpoint) expire(corr string, to netsim.Address, method string, body []byte, done func(Result), s callSettings) {
-	e.mu.Lock()
-	_, ok := e.pending[corr]
-	if !ok {
-		e.mu.Unlock()
+	if _, ok := e.takePending(corr); !ok {
 		return // reply won the race
 	}
-	delete(e.pending, corr)
+	e.mu.Lock()
 	e.stats.Timeouts++
-	retry := s.retries > 0
 	e.mu.Unlock()
-	if retry {
-		s.retries--
-		e.attempt(to, method, body, done, s)
+	e.retryOrFail(to, method, body, done, s,
+		fmt.Errorf("%w: %s on %s", ErrTimeout, method, to))
+}
+
+// retryOrFail re-attempts a failed call — immediately, or after the
+// configured backoff delay — and completes it with cause once the budget
+// is spent.
+func (e *Endpoint) retryOrFail(to netsim.Address, method string, body []byte, done func(Result), s callSettings, cause error) {
+	if s.retries <= 0 {
+		done(Result{Err: cause})
 		return
 	}
-	done(Result{Err: fmt.Errorf("%w: %s on %s", ErrTimeout, method, to)})
+	s.retries--
+	var delay time.Duration
+	if len(s.backoff) > 0 {
+		idx := s.tries
+		if idx >= len(s.backoff) {
+			idx = len(s.backoff) - 1
+		}
+		delay = s.backoff[idx]
+	}
+	s.tries++
+	if s.onRetry != nil {
+		s.onRetry(s.tries)
+	}
+	if delay > 0 {
+		e.clock.AfterFunc(delay, func() {
+			e.attempt(to, method, body, done, s)
+		})
+		return
+	}
+	e.attempt(to, method, body, done, s)
 }
 
 // complete resolves a pending call if still outstanding.
 func (e *Endpoint) complete(corr string, r Result) {
-	e.mu.Lock()
-	pc, ok := e.pending[corr]
-	if ok {
-		delete(e.pending, corr)
-		if _, isRemote := r.Err.(*RemoteError); isRemote {
-			e.stats.RemoteErrors++
-		}
-	}
-	e.mu.Unlock()
+	pc, ok := e.takePending(corr)
 	if !ok {
 		return
+	}
+	if _, isRemote := r.Err.(*RemoteError); isRemote {
+		e.mu.Lock()
+		e.stats.RemoteErrors++
+		e.mu.Unlock()
 	}
 	pc.timer.Stop()
 	pc.done(r)
@@ -322,27 +434,28 @@ func (e *Endpoint) Call(to netsim.Address, method string, body []byte, opts ...C
 func (e *Endpoint) Announce(to netsim.Address, method string, body []byte) error {
 	env := wire.NewEnvelope(kindAnnounce, "", body)
 	env.SetHeader("method", method)
-	data, err := wire.Marshal(env)
-	if err != nil {
-		return err
-	}
 	e.mu.Lock()
 	e.stats.Announcements++
 	e.mu.Unlock()
-	return e.node.Send(netsim.Message{To: to, Kind: kindAnnounce, Payload: data})
+	return e.ch.Send(to, env)
 }
 
-// onMessage dispatches inbound network traffic.
-func (e *Endpoint) onMessage(msg netsim.Message) {
-	env, err := wire.Unmarshal(msg.Payload)
+// AnnounceJSON sends a one-way invocation with a JSON-encoded body.
+func (e *Endpoint) AnnounceJSON(to netsim.Address, method string, v any) error {
+	body, err := wire.EncodeBody(v)
 	if err != nil {
-		return // drop undecodable traffic, as a real stack would
+		return err
 	}
+	return e.Announce(to, method, body)
+}
+
+// onEnvelope dispatches envelopes delivered by the channel stack.
+func (e *Endpoint) onEnvelope(from netsim.Address, env *wire.Envelope) {
 	switch env.Kind {
 	case kindRequest:
-		e.serve(msg.From, env, true)
+		e.serve(from, env, true)
 	case kindAnnounce:
-		e.serve(msg.From, env, false)
+		e.serve(from, env, false)
 	case kindReply:
 		e.onReply(env)
 	}
@@ -368,12 +481,8 @@ func (e *Endpoint) serve(from netsim.Address, env *wire.Envelope, reply bool) {
 		if herr != nil {
 			rep.SetHeader("error", herr.Error())
 		}
-		data, err := wire.Marshal(rep)
-		if err != nil {
-			return
-		}
 		// Best effort: if the reply cannot be sent the caller times out.
-		_ = e.node.Send(netsim.Message{To: from, Kind: kindReply, Payload: data})
+		_ = e.ch.Send(from, rep)
 	}
 
 	switch {

@@ -1,7 +1,6 @@
 package rtc
 
 import (
-	"encoding/json"
 	"sort"
 	"sync"
 	"time"
@@ -9,9 +8,8 @@ import (
 	"mocca/internal/netsim"
 	"mocca/internal/rpc"
 	"mocca/internal/vclock"
+	"mocca/internal/wire"
 )
-
-func encodeJSON(v any) ([]byte, error) { return json.Marshal(v) }
 
 // Session is a participant's client-side view of one conference: a state
 // replica kept consistent by applying server-sequenced events in order.
@@ -20,6 +18,7 @@ type Session struct {
 	Conference string
 
 	endpoint *rpc.Endpoint
+	mux      *sessionMux
 	server   netsim.Address
 	clock    vclock.Clock
 
@@ -72,26 +71,23 @@ func NewSession(endpoint *rpc.Endpoint, clock vclock.Clock, server netsim.Addres
 }
 
 // sessionMux demultiplexes rtc.event announcements to sessions sharing an
-// endpoint.
+// endpoint. The mux lives on the endpoint itself (rpc.LayerValue), so its
+// lifetime is the endpoint's: sessions cannot leak across deployments and
+// no package-level registry of endpoints exists.
 type sessionMux struct {
 	mu       sync.Mutex
 	sessions map[string][]*Session // conference id -> sessions
 }
 
-var (
-	muxesMu sync.Mutex
-	muxes   = map[*rpc.Endpoint]*sessionMux{}
-)
+// sessionMuxKey names the rtc layer's slot on an endpoint.
+const sessionMuxKey = "rtc.sessionMux"
 
 func registerSessionMux(ep *rpc.Endpoint, s *Session) {
-	muxesMu.Lock()
-	mux, ok := muxes[ep]
-	if !ok {
-		mux = &sessionMux{sessions: make(map[string][]*Session)}
-		muxes[ep] = mux
+	mux := ep.LayerValue(sessionMuxKey, func() any {
+		mux := &sessionMux{sessions: make(map[string][]*Session)}
 		ep.MustRegister(MethodEvent, func(req rpc.Request) ([]byte, error) {
 			var ev Event
-			if err := json.Unmarshal(req.Body, &ev); err != nil {
+			if err := wire.DecodeBody(req.Body, &ev); err != nil {
 				return nil, err
 			}
 			mux.mu.Lock()
@@ -102,17 +98,71 @@ func registerSessionMux(ep *rpc.Endpoint, s *Session) {
 			}
 			return nil, nil
 		})
-	}
-	muxesMu.Unlock()
+		return mux
+	}).(*sessionMux)
 
 	mux.mu.Lock()
 	mux.sessions[s.Conference] = append(mux.sessions[s.Conference], s)
 	mux.mu.Unlock()
+	s.mux = mux
+}
+
+// reregister re-attaches a session that previously left, so Leave then
+// Join keeps receiving fan-out events. No-op while still registered.
+func (s *Session) reregister() {
+	mux := s.mux
+	if mux == nil {
+		return
+	}
+	mux.mu.Lock()
+	defer mux.mu.Unlock()
+	for _, sess := range mux.sessions[s.Conference] {
+		if sess == s {
+			return
+		}
+	}
+	mux.sessions[s.Conference] = append(mux.sessions[s.Conference], s)
+}
+
+// Detach removes the session from its endpoint's event demultiplexer
+// without telling the server — for abandoning a session that cannot (or
+// should not) Leave, e.g. when a client is superseded by a new session
+// after a crash. A detached session can re-attach by calling Join.
+func (s *Session) Detach() {
+	s.mu.Lock()
+	s.joined = false
+	if s.hbTimer != nil {
+		s.hbTimer.Stop()
+	}
+	s.mu.Unlock()
+	s.unregister()
+}
+
+// unregister removes the session from its endpoint's mux so a departed
+// session stops consuming (and buffering) fan-out events.
+func (s *Session) unregister() {
+	mux := s.mux
+	if mux == nil {
+		return
+	}
+	mux.mu.Lock()
+	defer mux.mu.Unlock()
+	list := mux.sessions[s.Conference]
+	for i, sess := range list {
+		if sess == s {
+			mux.sessions[s.Conference] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(mux.sessions[s.Conference]) == 0 {
+		delete(mux.sessions, s.Conference)
+	}
 }
 
 // Join enters the conference, initialising the replica from the server
 // snapshot. Blocking; see package rpc for simulated-clock usage.
 func (s *Session) Join() error {
+	s.reregister()
 	var resp joinResp
 	err := s.endpoint.CallJSON(s.server, MethodJoin, joinReq{
 		Conference: s.Conference,
@@ -120,6 +170,10 @@ func (s *Session) Join() error {
 		Addr:       string(s.endpoint.Addr()),
 	}, &resp)
 	if err != nil {
+		// A session that failed to join must not stay in the mux
+		// buffering the conference's events unboundedly; a retried Join
+		// re-registers it.
+		s.unregister()
 		return err
 	}
 	s.mu.Lock()
@@ -172,7 +226,8 @@ func (s *Session) drainPendingLocked() []Event {
 	}
 }
 
-// Leave exits the conference and stops heartbeats.
+// Leave exits the conference, stops heartbeats, and detaches the session
+// from its endpoint's event demultiplexer.
 func (s *Session) Leave() error {
 	s.mu.Lock()
 	s.joined = false
@@ -180,6 +235,7 @@ func (s *Session) Leave() error {
 		s.hbTimer.Stop()
 	}
 	s.mu.Unlock()
+	s.unregister()
 	var resp okResp
 	return s.endpoint.CallJSON(s.server, MethodLeave, leaveReq{Conference: s.Conference, Member: s.Member}, &resp)
 }

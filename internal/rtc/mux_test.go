@@ -1,0 +1,128 @@
+package rtc
+
+import (
+	"testing"
+
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+)
+
+// TestSessionsShareEndpointWithoutGlobalState verifies that the event
+// demultiplexer lives on the endpoint (not in a package-level registry):
+// two sessions for different conferences share one endpoint, each sees
+// only its own conference's events, and a departed session is detached.
+func TestSessionsShareEndpointWithoutGlobalState(t *testing.T) {
+	f := newRTCFixture(t, ModeOpen)
+	cid2, err := f.server.CreateConference("second", ModeOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ep := rpc.NewEndpoint(f.net.MustAddNode("shared"), f.clk)
+	var got1, got2 []Event
+	s1 := NewSession(ep, f.clk, "mcu", f.cid, "ada", OnEvent(func(ev Event) { got1 = append(got1, ev) }))
+	s2 := NewSession(ep, f.clk, "mcu", cid2, "ada", OnEvent(func(ev Event) { got2 = append(got2, ev) }))
+	f.mustDrive(t, s1.Join)
+	f.mustDrive(t, s2.Join)
+
+	f.mustDrive(t, func() error { return s1.Set("k", "conference-one") })
+	f.mustDrive(t, func() error { return s2.Set("k", "conference-two") })
+	f.clk.RunUntilIdle()
+
+	if s1.Get("k") != "conference-one" || s2.Get("k") != "conference-two" {
+		t.Fatalf("cross-conference bleed: s1=%q s2=%q", s1.Get("k"), s2.Get("k"))
+	}
+	for _, ev := range got1 {
+		if ev.Conference != f.cid {
+			t.Fatalf("s1 received foreign event %+v", ev)
+		}
+	}
+	for _, ev := range got2 {
+		if ev.Conference != cid2 {
+			t.Fatalf("s2 received foreign event %+v", ev)
+		}
+	}
+
+	// After leaving, s1 must be detached from the mux: further events for
+	// its conference are not buffered into the dead session.
+	f.mustDrive(t, s1.Leave)
+	mux := ep.LayerValue(sessionMuxKey, func() any { t.Fatal("mux vanished"); return nil }).(*sessionMux)
+	mux.mu.Lock()
+	remaining := len(mux.sessions[f.cid])
+	mux.mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("%d sessions still registered for %s after Leave", remaining, f.cid)
+	}
+}
+
+// TestFailedJoinUnregisters: a session whose Join fails (first join or
+// re-join) must not stay in the endpoint mux buffering conference events;
+// a retried Join re-attaches it.
+func TestFailedJoinUnregisters(t *testing.T) {
+	f := newRTCFixture(t, ModeOpen)
+	ep := rpc.NewEndpoint(f.net.MustAddNode("carol"), f.clk)
+	carol := NewSession(ep, f.clk, "mcu", f.cid, "carol")
+
+	f.net.Partition([]netsim.Address{"carol"}, []netsim.Address{"mcu"})
+	if err := f.drive(t, carol.Join); err == nil {
+		t.Fatal("join succeeded across a partition")
+	}
+	mux := ep.LayerValue(sessionMuxKey, func() any { t.Fatal("mux missing"); return nil }).(*sessionMux)
+	mux.mu.Lock()
+	registered := len(mux.sessions[f.cid])
+	mux.mu.Unlock()
+	if registered != 0 {
+		t.Fatalf("%d sessions registered after failed join", registered)
+	}
+
+	f.net.Heal()
+	f.mustDrive(t, carol.Join)
+	other := f.session(t, "dave")
+	f.mustDrive(t, other.Join)
+	f.mustDrive(t, func() error { return other.Set("k", "v") })
+	f.clk.RunUntilIdle()
+	if carol.Get("k") != "v" {
+		t.Fatalf("retried join not receiving events: k=%q", carol.Get("k"))
+	}
+}
+
+// TestDetachStopsDelivery: a detached session's callbacks stop firing and
+// it no longer buffers events.
+func TestDetachStopsDelivery(t *testing.T) {
+	f := newRTCFixture(t, ModeOpen)
+	events := 0
+	alice := f.session(t, "alice", OnEvent(func(Event) { events++ }))
+	bob := f.session(t, "bob")
+	f.mustDrive(t, alice.Join)
+	f.mustDrive(t, bob.Join)
+
+	alice.Detach()
+	before := events
+	f.mustDrive(t, func() error { return bob.Set("k", "after-detach") })
+	f.clk.RunUntilIdle()
+	if events != before {
+		t.Fatalf("detached session received %d events", events-before)
+	}
+	if alice.Get("k") != "" {
+		t.Fatalf("detached replica mutated: %q", alice.Get("k"))
+	}
+}
+
+// TestLeaveThenRejoinSameSession: a session that left and re-joins must
+// re-attach to the endpoint's mux and resume receiving events.
+func TestLeaveThenRejoinSameSession(t *testing.T) {
+	f := newRTCFixture(t, ModeOpen)
+	alice := f.session(t, "alice")
+	bob := f.session(t, "bob")
+	f.mustDrive(t, alice.Join)
+	f.mustDrive(t, bob.Join)
+
+	f.mustDrive(t, alice.Leave)
+	f.mustDrive(t, alice.Join)
+
+	f.mustDrive(t, func() error { return bob.Set("k", "after-rejoin") })
+	f.clk.RunUntilIdle()
+	if got := alice.Get("k"); got != "after-rejoin" {
+		t.Fatalf("rejoined session replica = %q (stale: not receiving events)", got)
+	}
+}

@@ -526,11 +526,7 @@ func (s *Server) broadcast(cid string, ev Event) {
 }
 
 func (s *Server) announceEvent(addr netsim.Address, ev Event) {
-	body, err := encodeJSON(ev)
-	if err != nil {
-		return
-	}
-	_ = s.endpoint.Announce(addr, MethodEvent, body)
+	_ = s.endpoint.AnnounceJSON(addr, MethodEvent, ev)
 }
 
 // scheduleSweep evicts members whose heartbeat lapsed.

@@ -6,6 +6,7 @@ import (
 	"mocca/internal/directory"
 	"mocca/internal/netsim"
 	"mocca/internal/rpc"
+	"mocca/internal/wire"
 )
 
 // RPC method names exposed by a trading service.
@@ -101,12 +102,8 @@ func NewServer(endpoint *rpc.Endpoint, t *Trader) *Server {
 			Importer:    req.Importer,
 			Hops:        req.Hops,
 		}, func(r rpc.Result) {
-			if r.Err != nil {
-				done(nil, r.Err)
-				return
-			}
 			var resp importResp
-			if err := decodeJSON(r.Body, &resp); err != nil {
+			if err := r.Decode(&resp); err != nil {
 				done(nil, err)
 				return
 			}
@@ -146,7 +143,7 @@ func (s *Server) register() {
 	s.endpoint.MustRegisterAsync(MethodImport, func(r rpc.Request, reply func([]byte, error)) {
 		var req importReq
 		if len(r.Body) > 0 {
-			if err := decodeJSON(r.Body, &req); err != nil {
+			if err := wire.DecodeBody(r.Body, &req); err != nil {
 				reply(nil, err)
 				return
 			}
@@ -171,7 +168,7 @@ func (s *Server) register() {
 			for _, o := range offers {
 				resp.Offers = append(resp.Offers, toWire(o))
 			}
-			body, merr := encodeJSON(resp)
+			body, merr := wire.EncodeBody(resp)
 			reply(body, merr)
 		})
 	})

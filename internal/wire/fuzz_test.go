@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to Unmarshal (which must error or parse,
+// never panic) and, when the input parses, re-encodes and re-decodes to
+// check the format round-trips losslessly.
+func FuzzDecode(f *testing.F) {
+	seed := NewEnvelope("rpc.req", "call-1-deadbeef", []byte(`{"x":1}`))
+	seed.SetHeader("method", "svc.echo")
+	seed.SetHeader("ch.epoch", "2")
+	data, err := Marshal(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xd9, 0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		e, err := Unmarshal(in)
+		if err != nil {
+			return // malformed input rejected cleanly
+		}
+		out, err := Marshal(e)
+		if err != nil {
+			t.Fatalf("decoded envelope failed to re-encode: %v", err)
+		}
+		e2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-encoded envelope failed to decode: %v", err)
+		}
+		if e2.Kind != e.Kind || e2.Corr != e.Corr || !bytes.Equal(e2.Body, e.Body) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", e, e2)
+		}
+		if len(e.Headers) != len(e2.Headers) {
+			t.Fatalf("header count changed: %v vs %v", e.Headers, e2.Headers)
+		}
+		for k, v := range e.Headers {
+			if e2.Headers[k] != v {
+				t.Fatalf("header %q changed: %q vs %q", k, v, e2.Headers[k])
+			}
+		}
+	})
+}
+
+// TestTruncatedEnvelopeNeverPanics decodes every prefix of a fully-featured
+// envelope: each must return an error (or, for the full frame, succeed) and
+// none may panic.
+func TestTruncatedEnvelopeNeverPanics(t *testing.T) {
+	e := NewEnvelope("rpc.req", "call-7", []byte("0123456789abcdef"))
+	e.SetHeader("method", "x500.search")
+	e.SetHeader("error", "boom")
+	data, err := Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i++ {
+		if _, err := Unmarshal(data[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(data))
+		}
+	}
+	if _, err := Unmarshal(data); err != nil {
+		t.Fatalf("full envelope failed: %v", err)
+	}
+}

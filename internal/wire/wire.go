@@ -19,12 +19,12 @@
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Version is the current envelope format version.
@@ -75,9 +75,27 @@ func (e *Envelope) Header(k string) (string, bool) {
 	return v, ok
 }
 
+// keyScratch pools the sorted-key slices used by Marshal so the hot path
+// does not allocate per encode. The frame buffer itself cannot be pooled:
+// netsim retains the payload until (possibly much later) simulated
+// delivery, so ownership transfers to the network on Send.
+var keyScratch = sync.Pool{
+	New: func() any {
+		s := make([]string, 0, 16)
+		return &s
+	},
+}
+
 // Marshal encodes the envelope to bytes. Headers are written in sorted key
-// order so encoding is deterministic.
+// order so encoding is deterministic. The output is produced with a single
+// exact-size allocation.
 func Marshal(e *Envelope) ([]byte, error) {
+	return AppendMarshal(nil, e)
+}
+
+// AppendMarshal appends the encoded envelope to dst and returns the
+// extended slice, growing dst at most once.
+func AppendMarshal(dst []byte, e *Envelope) ([]byte, error) {
 	if len(e.Kind) >= maxStringLen || len(e.Corr) >= maxStringLen {
 		return nil, fmt.Errorf("%w: kind or corr too long", ErrOversize)
 	}
@@ -87,48 +105,55 @@ func Marshal(e *Envelope) ([]byte, error) {
 	if len(e.Headers) >= maxHeaders {
 		return nil, fmt.Errorf("%w: %d headers", ErrOversize, len(e.Headers))
 	}
-	var buf bytes.Buffer
-	writeU16 := func(v uint16) {
-		var b [2]byte
-		binary.BigEndian.PutUint16(b[:], v)
-		buf.Write(b[:])
+	keysp := keyScratch.Get().(*[]string)
+	keys := (*keysp)[:0]
+	size := 2 + 1 + 4 + len(e.Kind) + 4 + len(e.Corr) + 2 + 4 + len(e.Body)
+	for k, v := range e.Headers {
+		if len(k) >= maxStringLen || len(v) >= maxStringLen {
+			keyScratch.Put(keysp)
+			return nil, fmt.Errorf("%w: header %q", ErrOversize, k)
+		}
+		keys = append(keys, k)
+		size += 8 + len(k) + len(v)
 	}
-	writeU32 := func(v uint32) {
-		var b [4]byte
-		binary.BigEndian.PutUint32(b[:], v)
-		buf.Write(b[:])
+	slices.Sort(keys)
+
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
 	}
-	writeStr := func(s string) {
-		writeU32(uint32(len(s)))
-		buf.WriteString(s)
-	}
-	writeU16(magic)
+	buf := dst
+	buf = binary.BigEndian.AppendUint16(buf, magic)
 	version := e.Version
 	if version == 0 {
 		version = Version
 	}
-	buf.WriteByte(version)
-	writeStr(e.Kind)
-	writeStr(e.Corr)
-	keys := make([]string, 0, len(e.Headers))
-	for k := range e.Headers {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	writeU16(uint16(len(keys)))
+	buf = append(buf, version)
+	buf = appendStr(buf, e.Kind)
+	buf = appendStr(buf, e.Corr)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(keys)))
 	for _, k := range keys {
-		if len(k) >= maxStringLen || len(e.Headers[k]) >= maxStringLen {
-			return nil, fmt.Errorf("%w: header %q", ErrOversize, k)
-		}
-		writeStr(k)
-		writeStr(e.Headers[k])
+		buf = appendStr(buf, k)
+		buf = appendStr(buf, e.Headers[k])
 	}
-	writeU32(uint32(len(e.Body)))
-	buf.Write(e.Body)
-	return buf.Bytes(), nil
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Body)))
+	buf = append(buf, e.Body...)
+
+	*keysp = keys
+	keyScratch.Put(keysp)
+	return buf, nil
 }
 
-// Unmarshal decodes an envelope from bytes.
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// Unmarshal decodes an envelope from bytes. The returned envelope's Body
+// aliases data — the caller owns the input buffer and must not mutate it
+// while the envelope is live. (Every producer in this repository hands the
+// buffer over exactly once, so decode stays copy-free.)
 func Unmarshal(data []byte) (*Envelope, error) {
 	r := &reader{data: data}
 	m, err := r.u16()
@@ -219,15 +244,14 @@ func (r *reader) u32() (uint32, error) {
 }
 
 func (r *reader) str() (string, error) {
-	b, err := r.bytesLimited(maxStringLen)
+	b, err := r.bytes(maxStringLen)
 	return string(b), err
 }
 
+// bytes returns a sub-slice aliasing the input buffer; str converts (and so
+// copies) immediately, while body bytes stay aliased per Unmarshal's
+// contract.
 func (r *reader) bytes(limit int) ([]byte, error) {
-	return r.bytesLimited(limit)
-}
-
-func (r *reader) bytesLimited(limit int) ([]byte, error) {
 	n, err := r.u32()
 	if err != nil {
 		return nil, err
@@ -238,8 +262,7 @@ func (r *reader) bytesLimited(limit int) ([]byte, error) {
 	if r.pos+int(n) > len(r.data) {
 		return nil, ErrTruncated
 	}
-	out := make([]byte, n)
-	copy(out, r.data[r.pos:r.pos+int(n)])
+	out := r.data[r.pos : r.pos+int(n) : r.pos+int(n)]
 	r.pos += int(n)
 	return out, nil
 }

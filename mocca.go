@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"time"
 
+	"mocca/internal/channel"
 	"mocca/internal/comm"
 	"mocca/internal/core"
 	"mocca/internal/directory"
+	"mocca/internal/engineering"
 	"mocca/internal/id"
 	"mocca/internal/mhs"
 	"mocca/internal/netsim"
@@ -83,13 +85,16 @@ type Deployment struct {
 	seed int64
 	link netsim.LinkProfile
 
-	clock *vclock.Simulated
-	net   *netsim.Network
-	env   *core.Environment
-	ids   *id.Generator
+	clock  *vclock.Simulated
+	net    *netsim.Network
+	env    *core.Environment
+	ids    *id.Generator
+	fabric *engineering.Fabric
 
-	mcu   *rtc.Server
-	sites map[string]*Site
+	mcu          *rtc.Server
+	sites        map[string]*Site
+	userEPs      map[netsim.Address]*rpc.Endpoint
+	userSessions map[netsim.Address]*rtc.Session
 }
 
 // Site is one organisation's installation: an MTA plus local users.
@@ -104,9 +109,11 @@ type Site struct {
 // NewDeployment builds the simulated substrate and environment.
 func NewDeployment(opts ...Option) *Deployment {
 	d := &Deployment{
-		seed:  1992,
-		link:  netsim.LinkProfile{Latency: 20 * time.Millisecond},
-		sites: make(map[string]*Site),
+		seed:         1992,
+		link:         netsim.LinkProfile{Latency: 20 * time.Millisecond},
+		sites:        make(map[string]*Site),
+		userEPs:      make(map[netsim.Address]*rpc.Endpoint),
+		userSessions: make(map[netsim.Address]*rtc.Session),
 	}
 	for _, opt := range opts {
 		opt(d)
@@ -119,10 +126,19 @@ func NewDeployment(opts ...Option) *Deployment {
 	)
 	d.ids = id.NewSeeded(d.seed)
 	d.env = core.New(d.clock, core.WithIDs(d.ids))
+	d.fabric = engineering.NewFabric()
 
-	mcuEP := rpc.NewEndpoint(d.net.MustAddNode("mcu"), d.clock, rpc.WithIDs(d.ids))
-	d.mcu = rtc.NewServer(mcuEP, d.clock, rtc.WithIDs(d.ids))
+	d.mcu = rtc.NewServer(d.newEndpoint("mcu"), d.clock, rtc.WithIDs(d.ids))
 	return d
+}
+
+// newEndpoint creates a node and its rpc endpoint with the deployment's
+// engineering fabric observing the channel stack, so every channel the
+// deployment opens shows up in the engineering bookkeeping.
+func (d *Deployment) newEndpoint(addr netsim.Address) *rpc.Endpoint {
+	return rpc.NewEndpoint(d.net.MustAddNode(addr), d.clock,
+		rpc.WithIDs(d.ids),
+		rpc.WithChannel(channel.WithObserver(d.fabric)))
 }
 
 // Env returns the CSCW environment.
@@ -134,6 +150,25 @@ func (d *Deployment) Conferencing() *rtc.Server { return d.mcu }
 // Network returns the simulated network (for partitions, stats).
 func (d *Deployment) Network() *netsim.Network { return d.net }
 
+// Fabric returns the engineering-viewpoint bookkeeping of the live
+// channels: nodes, transport capsules, per-channel epochs and counters.
+func (d *Deployment) Fabric() *engineering.Fabric { return d.fabric }
+
+// ChannelStats lists every live channel with its traffic counters, sorted
+// by (local, remote) — the per-channel view figure 4 promises the
+// infrastructure can provide for all interactions.
+func (d *Deployment) ChannelStats() []engineering.ChannelInfo {
+	return d.fabric.Channels()
+}
+
+// ReconcileChannels verifies that the engineering bookkeeping agrees with
+// the network's own counters, i.e. that no traffic bypassed the channel
+// stack. Returns nil when they agree.
+func (d *Deployment) ReconcileChannels() error {
+	s := d.net.Stats()
+	return d.fabric.Reconcile(s.Sent, s.Delivered, s.Bytes)
+}
+
 // Clock returns the simulated clock.
 func (d *Deployment) Clock() *vclock.Simulated { return d.clock }
 
@@ -141,8 +176,7 @@ func (d *Deployment) Clock() *vclock.Simulated { return d.clock }
 // existing sites (full mesh).
 func (d *Deployment) AddSite(name, domain string) *Site {
 	addr := netsim.Address("mta-" + name)
-	ep := rpc.NewEndpoint(d.net.MustAddNode(addr), d.clock, rpc.WithIDs(d.ids))
-	mta := mhs.NewMTA(string(addr), domain, ep, d.clock, mhs.WithIDs(d.ids))
+	mta := mhs.NewMTA(string(addr), domain, d.newEndpoint(addr), d.clock, mhs.WithIDs(d.ids))
 	site := &Site{Name: name, Domain: domain, dep: d, mta: mta}
 	for _, other := range d.sites {
 		mta.AddRoute(other.Domain, other.mta.Addr())
@@ -193,20 +227,29 @@ func (s *Site) MTA() *mhs.MTA { return s.mta }
 // joins it, driving the simulated clock until the join completes.
 func (d *Deployment) JoinConference(conferenceID, member string, opts ...rtc.SessionOption) (*rtc.Session, error) {
 	nodeAddr := netsim.Address("user-" + member)
-	node, err := d.net.AddNode(nodeAddr)
-	if err != nil {
-		// Node may exist from a previous session of the same user.
-		existing, ok := d.net.Node(nodeAddr)
+	var ep *rpc.Endpoint
+	if _, exists := d.net.Node(nodeAddr); exists {
+		// Node (and endpoint) remain from a previous session of the same
+		// user; a fresh endpoint would steal the node's channel stack.
+		cached, ok := d.userEPs[nodeAddr]
 		if !ok {
-			return nil, err
+			return nil, fmt.Errorf("mocca: node %q exists without an endpoint", nodeAddr)
 		}
-		node = existing
+		ep = cached
+	} else {
+		ep = d.newEndpoint(nodeAddr)
+		d.userEPs[nodeAddr] = ep
 	}
-	ep := rpc.NewEndpoint(node, d.clock, rpc.WithIDs(d.ids))
+	// A new session supersedes the user's previous one: detach it so it
+	// stops receiving (and its callbacks stop firing on) future events.
+	if prev, ok := d.userSessions[nodeAddr]; ok {
+		prev.Detach()
+	}
 	sess := rtc.NewSession(ep, d.clock, "mcu", conferenceID, member, opts...)
 	if err := d.drive(sess.Join); err != nil {
 		return nil, err
 	}
+	d.userSessions[nodeAddr] = sess
 	return sess, nil
 }
 
