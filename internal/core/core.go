@@ -76,8 +76,9 @@ type Environment struct {
 	dit        *directory.DIT
 	conform    *odp.Registry
 
-	mu   sync.RWMutex
-	apps map[string]*Application
+	mu       sync.RWMutex
+	apps     map[string]*Application
+	siteEnvs map[string]*SiteEnv
 }
 
 // Option configures an Environment.
@@ -109,13 +110,14 @@ func WithTrader(t *trader.Trader) Option {
 //   - the transparency selector guards communication and sharing
 func New(clock vclock.Clock, opts ...Option) *Environment {
 	e := &Environment{
-		clock:   clock,
-		orgKB:   org.NewKnowledgeBase(),
-		acl:     access.NewSystem(),
-		engine:  policy.NewEngine(),
-		dit:     directory.NewDIT(),
-		conform: odp.NewRegistry(),
-		apps:    make(map[string]*Application),
+		clock:    clock,
+		orgKB:    org.NewKnowledgeBase(),
+		acl:      access.NewSystem(),
+		engine:   policy.NewEngine(),
+		dit:      directory.NewDIT(),
+		conform:  odp.NewRegistry(),
+		apps:     make(map[string]*Application),
+		siteEnvs: make(map[string]*SiteEnv),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -184,7 +186,9 @@ func (e *Environment) publishConformance() {
 		{Name: "information-sharing", Viewpoint: odp.Information, Function: "information.Space"},
 		{Name: "standard-repositories", Viewpoint: odp.Information, Function: "directory.DIT"},
 		{Name: "schema-interchange", Viewpoint: odp.Information, Function: "information.SchemaRegistry"},
+		{Name: "replicated-information-spaces", Viewpoint: odp.Information, Function: "replica.Replicator"},
 		{Name: "selective-transparency", Viewpoint: odp.Computation, Function: "transparency.Selector"},
+		{Name: "replication-transparency", Viewpoint: odp.Computation, Function: "transparency.FilterReplica"},
 		{Name: "user-tailorability", Viewpoint: odp.Computation, Function: "policy.Engine"},
 		{Name: "communication-integration", Viewpoint: odp.Computation, Function: "comm.Hub"},
 		{Name: "invocation", Viewpoint: odp.Engineering, Function: "rpc.Endpoint"},
@@ -322,6 +326,101 @@ func (e *Environment) ShareAcross(reader, objID, targetApp string) (*information
 		schema = SharedSchemaName
 	}
 	return e.space.GetAs(reader, objID, schema)
+}
+
+// --- per-site environments ------------------------------------------------
+
+// SiteEnv is the per-site face of the environment: one site's replica of
+// the information model layered over the SAME schema registry, ACL
+// system, org knowledge base, policy engine and transparency selector as
+// every other site. Applications hosted at a site bind to their SiteEnv,
+// so their writes land on the local replica and propagate asynchronously,
+// while everything that must be globally consistent (schemas, grants,
+// policies) stays shared.
+type SiteEnv struct {
+	parent *Environment
+	site   string
+	space  *information.Space
+}
+
+// SiteEnv returns the per-site environment for the named site, creating
+// its information replica on first use. The replica's events feed the
+// tailorability engine tagged with the site, so conflicts and remote
+// applies are scriptable like any other environment event.
+func (e *Environment) SiteEnv(site string) *SiteEnv {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if se, ok := e.siteEnvs[site]; ok {
+		return se
+	}
+	sp := information.NewSpace(e.space.Registry(), e.acl, e.clock,
+		information.WithIDs(e.ids), information.WithSite(site))
+	sp.Subscribe("", func(ev information.Event) {
+		attrs := map[string]string{"actor": ev.Actor, "kind": ev.Kind, "site": site}
+		if ev.Object != nil {
+			attrs["object"] = ev.Object.ID
+			attrs["schema"] = ev.Object.Schema
+		}
+		if ev.Conflict != nil {
+			attrs["winner"] = ev.Conflict.WinnerSite
+			attrs["loser"] = ev.Conflict.LoserSite
+		}
+		e.engine.Dispatch(policy.Event{Kind: "info." + ev.Kind, Attrs: attrs})
+	})
+	se := &SiteEnv{parent: e, site: site, space: sp}
+	e.siteEnvs[site] = se
+	return se
+}
+
+// Sites lists the sites with materialised per-site environments, sorted.
+func (e *Environment) Sites() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.siteEnvs))
+	for s := range e.siteEnvs {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Site returns the site name.
+func (s *SiteEnv) Site() string { return s.site }
+
+// Parent returns the shared environment.
+func (s *SiteEnv) Parent() *Environment { return s.parent }
+
+// Space returns the site's information replica.
+func (s *SiteEnv) Space() *information.Space { return s.space }
+
+// RegisterApplication admits an application through the shared
+// environment — schemas and converters are global, so an application
+// registered at one site interoperates at every site.
+func (s *SiteEnv) RegisterApplication(app Application) error {
+	return s.parent.RegisterApplication(app)
+}
+
+// Get reads an object from the site replica under the reader's
+// replication-transparency selection: with the transparency selected
+// (the default) the replica set looks like one information space; with it
+// deselected, the returned fields are annotated with which replica served
+// the read, the writing site and the version vector — replica lag in the
+// user's face.
+func (s *SiteEnv) Get(actor, objID string) (*information.Object, error) {
+	obj, err := s.space.Get(actor, objID)
+	if err != nil {
+		return nil, err
+	}
+	// Build the annotation metadata (vector formatting allocates) only on
+	// the non-default, transparency-deselected path.
+	if !s.parent.selector.For(actor).Has(odp.Replication) {
+		obj.Fields = transparency.FilterReplica(s.parent.selector, actor, transparency.ReplicaMeta{
+			Site:    s.site,
+			Writer:  obj.Site,
+			Version: obj.VV.String(),
+		}, obj.Fields)
+	}
+	return obj, nil
 }
 
 // SyncOrgToDirectory exports the organisational knowledge base into the

@@ -3,6 +3,7 @@ package engineering
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -167,6 +168,35 @@ func (f *Fabric) Totals() FabricTotals {
 	defer f.mu.Unlock()
 	t := FabricTotals{Nodes: len(f.nodes), Channels: len(f.channels)}
 	for _, c := range f.channels {
+		t.FramesOut += c.FramesOut
+		t.FramesIn += c.FramesIn
+		t.BytesOut += c.BytesOut
+		t.BytesIn += c.BytesIn
+		t.DiscardsIn += c.DiscardsIn
+		t.DiscardBytesIn += c.DiscardBytesIn
+	}
+	return t
+}
+
+// TotalsFor aggregates the counters of channels whose local address has
+// the given prefix — the per-service slice of the fabric. With every
+// subsystem on its own node-address prefix (mta-*, repl-*, user-*), this
+// is how e.g. anti-entropy sync traffic is isolated from the rest of the
+// engineering bookkeeping.
+func (f *Fabric) TotalsFor(localPrefix string) FabricTotals {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var t FabricTotals
+	nodes := make(map[string]bool)
+	for _, c := range f.channels {
+		if !strings.HasPrefix(c.Local, localPrefix) {
+			continue
+		}
+		if !nodes[c.Local] {
+			nodes[c.Local] = true
+			t.Nodes++
+		}
+		t.Channels++
 		t.FramesOut += c.FramesOut
 		t.FramesIn += c.FramesIn
 		t.BytesOut += c.BytesOut

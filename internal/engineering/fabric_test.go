@@ -79,3 +79,30 @@ func TestFabricReconcile(t *testing.T) {
 		t.Fatalf("totals = %+v", totals)
 	}
 }
+
+func TestFabricTotalsFor(t *testing.T) {
+	f := NewFabric()
+	f.FrameSent("repl-gmd", "repl-upc", 100)
+	f.FrameSent("repl-upc", "repl-gmd", 40)
+	f.FrameReceived("repl-upc", "repl-gmd", 100)
+	f.FrameSent("mta-gmd", "mta-upc", 999)
+
+	repl := f.TotalsFor("repl-")
+	if repl.Nodes != 2 || repl.Channels != 2 {
+		t.Fatalf("repl slice = %+v", repl)
+	}
+	if repl.FramesOut != 2 || repl.BytesOut != 140 || repl.FramesIn != 1 || repl.BytesIn != 100 {
+		t.Fatalf("repl counters = %+v", repl)
+	}
+	if mta := f.TotalsFor("mta-"); mta.Channels != 1 || mta.BytesOut != 999 {
+		t.Fatalf("mta slice = %+v", mta)
+	}
+	if none := f.TotalsFor("user-"); none.Channels != 0 || none.Nodes != 0 {
+		t.Fatalf("empty slice = %+v", none)
+	}
+	// The slices partition the fabric's totals.
+	all := f.Totals()
+	if repl.FramesOut+f.TotalsFor("mta-").FramesOut != all.FramesOut {
+		t.Fatal("slices do not partition totals")
+	}
+}

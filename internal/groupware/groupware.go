@@ -24,6 +24,16 @@ import (
 	"mocca/internal/rtc"
 )
 
+// Env is the environment face an application binds to: the global
+// *core.Environment, or a site's *core.SiteEnv so that the application
+// instance works against that site's information replica (writes land
+// locally and replicate asynchronously). Registration is global either
+// way — schemas are shared across sites.
+type Env interface {
+	RegisterApplication(core.Application) error
+	Space() *information.Space
+}
+
 // Quadrant names used in Application registrations.
 const (
 	QuadrantSameTimeSamePlace = "same-time/same-place"
@@ -61,13 +71,13 @@ func renameFields(mapping map[string]string) func(map[string]string) (map[string
 // (an rtc conference whose members all sit on the same node), plus minutes
 // published into the information space when the meeting closes.
 type MeetingRoom struct {
-	env    *core.Environment
+	env    Env
 	server *rtc.Server
 	conf   string
 }
 
 // NewMeetingRoom registers the application and opens its room conference.
-func NewMeetingRoom(env *core.Environment, server *rtc.Server) (*MeetingRoom, error) {
+func NewMeetingRoom(env Env, server *rtc.Server) (*MeetingRoom, error) {
 	app := core.Application{
 		Name:     "meeting-room",
 		Quadrant: QuadrantSameTimeSamePlace,
@@ -117,13 +127,13 @@ func (m *MeetingRoom) PublishMinutes(scribe, topic string) (*information.Object,
 // DesktopConference is a Shared-X-style remote conference: members join
 // from their own nodes; WYSIWIS state is the shared document.
 type DesktopConference struct {
-	env    *core.Environment
+	env    Env
 	server *rtc.Server
 	conf   string
 }
 
 // NewDesktopConference registers the application and opens a conference.
-func NewDesktopConference(env *core.Environment, server *rtc.Server) (*DesktopConference, error) {
+func NewDesktopConference(env Env, server *rtc.Server) (*DesktopConference, error) {
 	app := core.Application{
 		Name:     "desktop-conference",
 		Quadrant: QuadrantSameTimeDiffPlace,
@@ -181,12 +191,12 @@ func (d *DesktopConference) SaveDocument(owner, name string) (*information.Objec
 // TeamRoom is a shift-handover board in a shared physical space: notes are
 // posted by one shift and read by the next — same place, different times.
 type TeamRoom struct {
-	env  *core.Environment
+	env  Env
 	name string
 }
 
 // NewTeamRoom registers the application.
-func NewTeamRoom(env *core.Environment, name string) (*TeamRoom, error) {
+func NewTeamRoom(env Env, name string) (*TeamRoom, error) {
 	app := core.Application{
 		Name:     "team-room",
 		Quadrant: QuadrantDiffTimeSamePlace,
@@ -238,11 +248,11 @@ func (tr *TeamRoom) Board(shift string) ([]*information.Object, error) {
 // MessageSystem is an Object-Lens-style structured-message application on
 // the MHS: conversations are threads of typed messages.
 type MessageSystem struct {
-	env *core.Environment
+	env Env
 }
 
 // NewMessageSystem registers the application.
-func NewMessageSystem(env *core.Environment) (*MessageSystem, error) {
+func NewMessageSystem(env Env) (*MessageSystem, error) {
 	app := core.Application{
 		Name:     "message-system",
 		Quadrant: QuadrantDiffTimeDiffPlace,

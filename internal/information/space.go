@@ -15,11 +15,19 @@ import (
 
 // Object is a shared information object.
 type Object struct {
-	ID      string
-	Schema  string
-	Owner   string
-	Fields  map[string]string
+	ID     string
+	Schema string
+	Owner  string
+	Fields map[string]string
+	// Version is the replica-local optimistic-concurrency number: the
+	// total count of writes this replica has observed on the object
+	// (VV.Sum()). Converged replicas agree on it.
 	Version uint64
+	// VV is the object's per-site version vector — the causal record that
+	// lets replicas order or detect concurrent cross-site updates.
+	VV vclock.Version
+	// Site names the replica that performed the object's latest write.
+	Site    string
 	Created time.Time
 	Updated time.Time
 }
@@ -28,6 +36,7 @@ type Object struct {
 func (o *Object) clone() *Object {
 	out := *o
 	out.Fields = cloneFields(o.Fields)
+	out.VV = o.VV.Clone()
 	return &out
 }
 
@@ -50,27 +59,47 @@ var (
 	ErrCycle         = errors.New("information: relationship cycle")
 )
 
+// Conflict describes a concurrent cross-site update that was resolved
+// deterministically (site-ordered last-writer-wins).
+type Conflict struct {
+	ObjectID   string
+	WinnerSite string
+	LoserSite  string
+	// LoserFields is the overwritten state, so applications (or a human)
+	// can recover what the losing write said.
+	LoserFields map[string]string
+}
+
 // Event notifies subscribers of a change.
 type Event struct {
-	Kind   string // "put", "update", "share", "relate"
+	// Kind is "put", "update", "share", "relate" for local writes, and
+	// "apply" / "conflict" for state arriving from a peer replica.
+	Kind   string
 	Object *Object
 	Actor  string
 	At     time.Time
+	// Conflict carries resolution detail on "conflict" events only.
+	Conflict *Conflict
 }
 
-// Space is the shared information space: guarded storage, relationships,
-// schema conversion, and change notification.
+// Space is the engine of the shared information space: schema validation,
+// access guards, change notification and replica merge policy, layered
+// over a Store that does the actual keeping of rows.
+//
+// A Space is one site's replica. Writes land locally (ticking the site's
+// version-vector entry); the replica layer propagates them to peers and
+// feeds remote writes back in through ApplyRemote.
 type Space struct {
 	registry *SchemaRegistry
 	acl      *access.System
 	clock    vclock.Clock
 	ids      *id.Generator
+	site     string
+	store    *Store
 
-	mu        sync.RWMutex
-	objects   map[string]*Object
-	relations map[string]map[RelKind][]string // from -> kind -> to ids
-	subs      []subscription
-	stats     SpaceStats
+	mu    sync.RWMutex
+	subs  []subscription
+	stats SpaceStats
 }
 
 // SpaceStats counts space activity.
@@ -80,6 +109,9 @@ type SpaceStats struct {
 	Reads    int64
 	Denials  int64
 	Notifies int64
+	// Applied and Conflicts count remote state merged in by replication.
+	Applied   int64
+	Conflicts int64
 }
 
 type subscription struct {
@@ -95,15 +127,23 @@ func WithIDs(g *id.Generator) SpaceOption {
 	return func(s *Space) { s.ids = g }
 }
 
+// WithSite names the replica this space embodies; the name keys the
+// object version vectors and breaks last-writer-wins ties, so it must be
+// unique across the replica set. Defaults to "local".
+func WithSite(site string) SpaceOption {
+	return func(s *Space) { s.site = site }
+}
+
 // NewSpace creates a space over the given schema registry and ACL system.
-// A nil acl disables access control (everything allowed).
+// A nil acl disables access control (everything allowed). Replicas of one
+// logical space share the registry and the ACL and differ only by site.
 func NewSpace(registry *SchemaRegistry, acl *access.System, clock vclock.Clock, opts ...SpaceOption) *Space {
 	s := &Space{
-		registry:  registry,
-		acl:       acl,
-		clock:     clock,
-		objects:   make(map[string]*Object),
-		relations: make(map[string]map[RelKind][]string),
+		registry: registry,
+		acl:      acl,
+		clock:    clock,
+		site:     "local",
+		store:    NewStore(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -116,6 +156,9 @@ func NewSpace(registry *SchemaRegistry, acl *access.System, clock vclock.Clock, 
 
 // Registry exposes the schema registry.
 func (s *Space) Registry() *SchemaRegistry { return s.registry }
+
+// Site returns the replica's site name.
+func (s *Space) Site() string { return s.site }
 
 // Stats returns a snapshot of the counters.
 func (s *Space) Stats() SpaceStats {
@@ -152,21 +195,26 @@ func (s *Space) Put(actor, schemaName string, fields map[string]string) (*Object
 		Owner:   actor,
 		Fields:  cloneFields(fields),
 		Version: 1,
+		VV:      vclock.NewVersion(s.site),
+		Site:    s.site,
 		Created: now,
 		Updated: now,
 	}
-	s.mu.Lock()
-	s.objects[obj.ID] = obj
-	s.stats.Puts++
-	s.mu.Unlock()
+	stored, err := s.store.Exec(obj.ID, func(*Object) (*Object, error) { return obj, nil })
+	if err != nil {
+		return nil, err
+	}
+	s.bump(func(st *SpaceStats) { st.Puts++ })
 
 	if s.acl != nil {
 		s.acl.GrantPrincipal(actor, access.OpRead, resource(obj.ID))
 		s.acl.GrantPrincipal(actor, access.OpWrite, resource(obj.ID))
 		s.acl.GrantPrincipal(actor, access.OpShare, resource(obj.ID))
 	}
-	s.notify(Event{Kind: "put", Object: obj.clone(), Actor: actor, At: now})
-	return obj.clone(), nil
+	// Subscribers get their own clone: a callback mutating ev.Object must
+	// not corrupt the caller's copy.
+	s.notify(Event{Kind: "put", Object: stored.clone(), Actor: actor, At: now})
+	return stored, nil
 }
 
 // Get reads an object, enforcing OpRead.
@@ -175,14 +223,12 @@ func (s *Space) Get(actor, objID string) (*Object, error) {
 		s.deny()
 		return nil, fmt.Errorf("%w: %s read %s", ErrDenied, actor, objID)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj, ok := s.objects[objID]
+	obj, ok := s.store.Get(objID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, objID)
 	}
-	s.stats.Reads++
-	return obj.clone(), nil
+	s.bump(func(st *SpaceStats) { st.Reads++ })
+	return obj, nil
 }
 
 // GetAs reads an object converted into the requested schema — the
@@ -206,64 +252,59 @@ func (s *Space) GetAs(actor, objID, schemaName string) (*Object, error) {
 }
 
 // Update modifies fields with optimistic concurrency: expectedVersion must
-// match or ErrConflict returns. Enforces OpWrite.
+// match or ErrConflict returns. Enforces OpWrite. The write lands on this
+// replica only; replication propagates it asynchronously.
 func (s *Space) Update(actor, objID string, expectedVersion uint64, fields map[string]string) (*Object, error) {
 	if !s.can(actor, access.OpWrite, objID) {
 		s.deny()
 		return nil, fmt.Errorf("%w: %s write %s", ErrDenied, actor, objID)
 	}
-	s.mu.Lock()
-	obj, ok := s.objects[objID]
-	if !ok {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, objID)
-	}
-	if obj.Version != expectedVersion {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: object at v%d, expected v%d", ErrConflict, obj.Version, expectedVersion)
-	}
-	schema, err := s.registry.Schema(obj.Schema)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	merged := cloneFields(obj.Fields)
-	for k, v := range fields {
-		if v == "" {
-			delete(merged, k)
-			continue
+	updated, err := s.store.Exec(objID, func(obj *Object) (*Object, error) {
+		if obj == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownObject, objID)
 		}
-		merged[k] = v
-	}
-	if err := schema.Validate(merged); err != nil {
-		s.mu.Unlock()
+		if obj.Version != expectedVersion {
+			return nil, fmt.Errorf("%w: object at v%d, expected v%d", ErrConflict, obj.Version, expectedVersion)
+		}
+		schema, err := s.registry.Schema(obj.Schema)
+		if err != nil {
+			return nil, err
+		}
+		merged := cloneFields(obj.Fields)
+		for k, v := range fields {
+			if v == "" {
+				delete(merged, k)
+				continue
+			}
+			merged[k] = v
+		}
+		if err := schema.Validate(merged); err != nil {
+			return nil, err
+		}
+		obj.Fields = merged
+		obj.VV = obj.VV.Tick(s.site)
+		obj.Version = obj.VV.Sum()
+		obj.Site = s.site
+		obj.Updated = s.clock.Now()
+		return obj, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	obj.Fields = merged
-	obj.Version++
-	obj.Updated = s.clock.Now()
-	s.stats.Updates++
-	updated := obj.clone()
-	s.mu.Unlock()
-
-	s.notify(Event{Kind: "update", Object: updated, Actor: actor, At: updated.Updated})
+	s.bump(func(st *SpaceStats) { st.Updates++ })
+	s.notify(Event{Kind: "update", Object: updated.clone(), Actor: actor, At: updated.Updated})
 	return updated, nil
 }
 
 // Share grants another principal read access (and optionally write),
-// enforcing OpShare on the actor.
+// enforcing OpShare on the actor. With replicas sharing one ACL system,
+// a grant made at any site is effective at every site.
 func (s *Space) Share(actor, objID, grantee string, writable bool) error {
 	if !s.can(actor, access.OpShare, objID) {
 		s.deny()
 		return fmt.Errorf("%w: %s share %s", ErrDenied, actor, objID)
 	}
-	s.mu.RLock()
-	obj, ok := s.objects[objID]
-	var snapshot *Object
-	if ok {
-		snapshot = obj.clone()
-	}
-	s.mu.RUnlock()
+	snapshot, ok := s.store.Get(objID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownObject, objID)
 	}
@@ -280,119 +321,39 @@ func (s *Space) Share(actor, objID, grantee string, writable bool) error {
 // Relate records a typed relationship; composition and dependency must stay
 // acyclic.
 func (s *Space) Relate(from string, kind RelKind, to string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.objects[from]; !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownObject, from)
-	}
-	if _, ok := s.objects[to]; !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownObject, to)
-	}
-	if s.reachableLocked(to, kind, from) || from == to {
-		return fmt.Errorf("%w: %s -[%s]-> %s", ErrCycle, from, kind, to)
-	}
-	if s.relations[from] == nil {
-		s.relations[from] = make(map[RelKind][]string)
-	}
-	for _, existing := range s.relations[from][kind] {
-		if existing == to {
-			return nil
-		}
-	}
-	s.relations[from][kind] = append(s.relations[from][kind], to)
-	return nil
+	return s.store.Relate(from, kind, to)
 }
 
 // Related returns directly related object ids.
 func (s *Space) Related(from string, kind RelKind) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := append([]string(nil), s.relations[from][kind]...)
-	sort.Strings(out)
-	return out
+	return s.store.Related(from, kind)
 }
 
 // Dependents returns ids of objects that relate TO the given id over kind
 // (e.g. everything that depends-on it).
 func (s *Space) Dependents(to string, kind RelKind) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []string
-	for from, kinds := range s.relations {
-		for _, t := range kinds[kind] {
-			if t == to {
-				out = append(out, from)
-			}
-		}
-	}
-	sort.Strings(out)
-	return out
+	return s.store.Dependents(to, kind)
 }
 
 // Closure returns all objects transitively reachable from id over kind.
 func (s *Space) Closure(from string, kind RelKind) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []string
-	seen := map[string]bool{from: true}
-	queue := []string{from}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		next := append([]string(nil), s.relations[cur][kind]...)
-		sort.Strings(next)
-		for _, n := range next {
-			if !seen[n] {
-				seen[n] = true
-				out = append(out, n)
-				queue = append(queue, n)
-			}
-		}
-	}
-	return out
-}
-
-// reachableLocked reports whether target is reachable from start over kind.
-func (s *Space) reachableLocked(start string, kind RelKind, target string) bool {
-	seen := map[string]bool{}
-	queue := []string{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur == target {
-			return true
-		}
-		if seen[cur] {
-			continue
-		}
-		seen[cur] = true
-		queue = append(queue, s.relations[cur][kind]...)
-	}
-	return false
+	return s.store.Closure(from, kind)
 }
 
 // Query returns copies of objects of the given schema whose fields contain
 // all the given key/value pairs (empty filter = all of that schema).
 func (s *Space) Query(actor, schemaName string, filter map[string]string) ([]*Object, error) {
-	s.mu.RLock()
-	var candidates []*Object
-	for _, obj := range s.objects {
+	candidates := s.store.Snapshot(func(obj *Object) bool {
 		if !strings.EqualFold(obj.Schema, schemaName) {
-			continue
+			return false
 		}
-		match := true
 		for k, v := range filter {
 			if obj.Fields[k] != v {
-				match = false
-				break
+				return false
 			}
 		}
-		if match {
-			candidates = append(candidates, obj.clone())
-		}
-	}
-	s.mu.RUnlock()
-
+		return true
+	})
 	out := candidates[:0]
 	for _, obj := range candidates {
 		if s.can(actor, access.OpRead, obj.ID) {
@@ -412,11 +373,109 @@ func (s *Space) Subscribe(schemaName string, fn func(Event)) {
 }
 
 // Len returns the number of stored objects.
-func (s *Space) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.objects)
+func (s *Space) Len() int { return s.store.Len() }
+
+// --- replication ---------------------------------------------------------
+
+// Digest summarises every object's version vector for anti-entropy
+// exchange.
+func (s *Space) Digest() map[string]vclock.Version { return s.store.Digest() }
+
+// NewerThan returns objects the given digest has not fully seen — the
+// delta a peer with that digest needs.
+func (s *Space) NewerThan(digest map[string]vclock.Version) []*Object {
+	return s.store.NewerThan(digest)
 }
+
+// lwwWins reports whether a beats b under site-ordered last-writer-wins:
+// the later Updated timestamp wins; equal timestamps fall back to the
+// higher site name. Both inputs replicate byte-identically, so every
+// replica picks the same winner.
+func lwwWins(a, b *Object) bool {
+	if !a.Updated.Equal(b.Updated) {
+		return a.Updated.After(b.Updated)
+	}
+	return a.Site > b.Site
+}
+
+// ApplyRemote merges an object received from a peer replica into this
+// replica. It is the replication layer's entry point and bypasses the
+// ACL — authorisation happened where the write was issued, and the ACL
+// system is shared across replicas anyway.
+//
+//   - unknown object: adopted as-is
+//   - remote causally newer (VV dominates): remote state adopted
+//   - remote causally older or equal: no change
+//   - concurrent: deterministic site-ordered last-writer-wins; version
+//     vectors merge either way and a "conflict" event is published
+//
+// changed reports whether local state moved; conflict whether a
+// concurrent update was resolved.
+func (s *Space) ApplyRemote(remote *Object) (changed, conflict bool, err error) {
+	if remote == nil || remote.ID == "" {
+		return false, false, fmt.Errorf("%w: empty remote object", ErrUnknownObject)
+	}
+	var conflictInfo *Conflict
+	stored, err := s.store.Exec(remote.ID, func(cur *Object) (*Object, error) {
+		if cur == nil {
+			return remote.clone(), nil
+		}
+		switch cur.VV.Compare(remote.VV) {
+		case vclock.After, vclock.Equal:
+			return nil, nil // nothing the remote knows that we don't
+		case vclock.Before:
+			adopted := remote.clone()
+			if cur.Created.Before(adopted.Created) {
+				adopted.Created = cur.Created
+			}
+			return adopted, nil
+		default: // concurrent: resolve deterministically, merge histories
+			winner, loser := cur, remote
+			if lwwWins(remote, cur) {
+				winner, loser = remote, cur
+			}
+			merged := winner.clone()
+			merged.VV = cur.VV.Merge(remote.VV)
+			merged.Version = merged.VV.Sum()
+			// Created converges to the minimum over BOTH sides, independent
+			// of who won — an asymmetric rule would leave replicas with
+			// equal vectors but diverged timestamps, which no further sync
+			// round could ever repair.
+			if cur.Created.Before(merged.Created) {
+				merged.Created = cur.Created
+			}
+			if remote.Created.Before(merged.Created) {
+				merged.Created = remote.Created
+			}
+			conflictInfo = &Conflict{
+				ObjectID:    cur.ID,
+				WinnerSite:  winner.Site,
+				LoserSite:   loser.Site,
+				LoserFields: cloneFields(loser.Fields),
+			}
+			return merged, nil
+		}
+	})
+	if err != nil {
+		return false, false, err
+	}
+	if stored == nil {
+		return false, false, nil
+	}
+	if conflictInfo != nil {
+		s.bump(func(st *SpaceStats) { st.Applied++; st.Conflicts++ })
+		s.notify(Event{
+			Kind: "conflict", Object: stored, Actor: "replica/" + remote.Site,
+			At: s.clock.Now(), Conflict: conflictInfo,
+		})
+		return true, true, nil
+	}
+	s.bump(func(st *SpaceStats) { st.Applied++ })
+	s.notify(Event{Kind: "apply", Object: stored, Actor: "replica/" + remote.Site, At: s.clock.Now()})
+	return true, false, nil
+}
+
+// --- internals -----------------------------------------------------------
 
 func (s *Space) notify(ev Event) {
 	s.mu.RLock()
@@ -424,16 +483,18 @@ func (s *Space) notify(ev Event) {
 	s.mu.RUnlock()
 	for _, sub := range subs {
 		if sub.schema == "" || (ev.Object != nil && sub.schema == ev.Object.Schema) {
-			s.mu.Lock()
-			s.stats.Notifies++
-			s.mu.Unlock()
+			s.bump(func(st *SpaceStats) { st.Notifies++ })
 			sub.fn(ev)
 		}
 	}
 }
 
 func (s *Space) deny() {
+	s.bump(func(st *SpaceStats) { st.Denials++ })
+}
+
+func (s *Space) bump(fn func(*SpaceStats)) {
 	s.mu.Lock()
-	s.stats.Denials++
+	fn(&s.stats)
 	s.mu.Unlock()
 }

@@ -1,0 +1,224 @@
+package information
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mocca/internal/vclock"
+)
+
+// Store is the storage engine beneath a Space: object rows and the
+// relationship graph, guarded by one lock. It knows nothing about schemas,
+// access control, events or replication policy — the Space (the engine)
+// layers those on top. The split is what lets one site host its Space over
+// a local replica store while a future backend swaps the in-memory maps
+// for persistence without touching the engine.
+//
+// Reads (Get, Snapshot, NewerThan) and every value Exec returns are deep
+// copies, so no caller retains an alias to a stored row. The one
+// deliberate exception is the Exec callback itself: it operates on the
+// live row under the store's lock — that is what makes it the atomic
+// read-modify-write primitive — and must not retain the pointer past its
+// return.
+type Store struct {
+	mu        sync.RWMutex
+	objects   map[string]*Object
+	relations map[string]map[RelKind][]string // from -> kind -> to ids
+}
+
+// NewStore creates an empty in-memory store.
+func NewStore() *Store {
+	return &Store{
+		objects:   make(map[string]*Object),
+		relations: make(map[string]map[RelKind][]string),
+	}
+}
+
+// Len returns the number of stored objects.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.objects)
+}
+
+// Get returns a copy of the row for id.
+func (st *Store) Get(id string) (*Object, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	obj, ok := st.objects[id]
+	if !ok {
+		return nil, false
+	}
+	return obj.clone(), true
+}
+
+// Exec runs fn against the live row for id under the store's write lock —
+// the atomic read-modify-write primitive every engine mutation builds on.
+// fn receives the stored row (nil if absent) and returns the row to store
+// in its place; returning nil stores nothing (read-only or aborted). The
+// returned snapshot is a deep copy of whatever fn stored, or nil.
+func (st *Store) Exec(id string, fn func(cur *Object) (*Object, error)) (*Object, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	next, err := fn(st.objects[id])
+	if err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, nil
+	}
+	st.objects[id] = next
+	return next.clone(), nil
+}
+
+// Snapshot returns copies of every row matching pred (nil pred = all),
+// in unspecified order.
+func (st *Store) Snapshot(pred func(*Object) bool) []*Object {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []*Object
+	for _, obj := range st.objects {
+		if pred == nil || pred(obj) {
+			out = append(out, obj.clone())
+		}
+	}
+	return out
+}
+
+// IDs returns all stored object ids, sorted.
+func (st *Store) IDs() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.objects))
+	for id := range st.objects {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Digest summarises every row's version vector — the anti-entropy
+// exchange unit: small enough to ship every round, sufficient for a peer
+// to compute exactly which rows the other side is missing.
+func (st *Store) Digest() map[string]vclock.Version {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make(map[string]vclock.Version, len(st.objects))
+	for id, obj := range st.objects {
+		out[id] = obj.VV.Clone()
+	}
+	return out
+}
+
+// NewerThan returns copies of rows the given digest has not fully seen —
+// rows absent from the digest, or whose version vector the digest entry
+// does not dominate (strictly newer or concurrent). This is the delta a
+// peer with that digest needs to pull.
+func (st *Store) NewerThan(digest map[string]vclock.Version) []*Object {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []*Object
+	for id, obj := range st.objects {
+		if seen, ok := digest[id]; !ok || !seen.Dominates(obj.VV) {
+			out = append(out, obj.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- relationships -------------------------------------------------------
+
+// Relate records a typed relationship; composition and dependency must
+// stay acyclic. Both endpoints must exist.
+func (st *Store) Relate(from string, kind RelKind, to string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.objects[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, from)
+	}
+	if _, ok := st.objects[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, to)
+	}
+	if st.reachableLocked(to, kind, from) || from == to {
+		return fmt.Errorf("%w: %s -[%s]-> %s", ErrCycle, from, kind, to)
+	}
+	if st.relations[from] == nil {
+		st.relations[from] = make(map[RelKind][]string)
+	}
+	for _, existing := range st.relations[from][kind] {
+		if existing == to {
+			return nil
+		}
+	}
+	st.relations[from][kind] = append(st.relations[from][kind], to)
+	return nil
+}
+
+// Related returns directly related object ids, sorted.
+func (st *Store) Related(from string, kind RelKind) []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := append([]string(nil), st.relations[from][kind]...)
+	sort.Strings(out)
+	return out
+}
+
+// Dependents returns ids of objects that relate TO the given id over kind.
+func (st *Store) Dependents(to string, kind RelKind) []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []string
+	for from, kinds := range st.relations {
+		for _, t := range kinds[kind] {
+			if t == to {
+				out = append(out, from)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Closure returns all ids transitively reachable from id over kind.
+func (st *Store) Closure(from string, kind RelKind) []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []string
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		next := append([]string(nil), st.relations[cur][kind]...)
+		sort.Strings(next)
+		for _, n := range next {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+				queue = append(queue, n)
+			}
+		}
+	}
+	return out
+}
+
+// reachableLocked reports whether target is reachable from start over kind.
+func (st *Store) reachableLocked(start string, kind RelKind, target string) bool {
+	seen := map[string]bool{}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == target {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		queue = append(queue, st.relations[cur][kind]...)
+	}
+	return false
+}

@@ -118,16 +118,18 @@ var DefaultEpoch = time.Date(1992, time.June, 9, 9, 0, 0, 0, time.UTC)
 
 // Network is the simulated internetwork. Create with New.
 type Network struct {
-	clock       vclock.Clock
-	mu          sync.Mutex
-	rng         *rand.Rand
-	nodes       map[Address]*Node
-	links       map[linkKey]LinkProfile
-	defaultLink LinkProfile
-	partition   map[Address]int // group id per address; absent = group 0
-	partitioned bool
-	lastFIFO    map[linkKey]time.Time
-	stats       Stats
+	clock        vclock.Clock
+	mu           sync.Mutex
+	rng          *rand.Rand
+	nodes        map[Address]*Node
+	links        map[linkKey]LinkProfile
+	defaultLink  LinkProfile
+	partition    map[Address]int // group id per address; absent = group 0
+	partitioned  bool
+	lastFIFO     map[linkKey]time.Time
+	healHooks    []func()
+	recoverHooks []func(Address)
+	stats        Stats
 }
 
 type linkKey struct{ from, to Address }
@@ -227,12 +229,49 @@ func (n *Network) Partition(groups ...[]Address) {
 	n.partitioned = true
 }
 
-// Heal removes any partition.
+// Heal removes any partition, prunes stale FIFO bookkeeping, and runs any
+// OnHeal hooks (e.g. replication kicking an immediate sync round).
 func (n *Network) Heal() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.partition = make(map[Address]int)
 	n.partitioned = false
+	n.pruneFIFOLocked()
+	hooks := append([]func(){}, n.healHooks...)
+	n.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// pruneFIFOLocked drops FIFO high-water marks that are already in the
+// past: they can no longer order anything (any new send computes a later
+// delivery), they only make the map grow without bound across long
+// partition/crash scenarios. Marks still in the future guard in-flight
+// messages and are kept, so FIFO ordering is never violated.
+func (n *Network) pruneFIFOLocked() {
+	now := n.clock.Now()
+	for key, last := range n.lastFIFO {
+		if !last.After(now) {
+			delete(n.lastFIFO, key)
+		}
+	}
+}
+
+// OnHeal registers a hook invoked (outside the network lock) every time
+// Heal is called.
+func (n *Network) OnHeal(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.healHooks = append(n.healHooks, fn)
+}
+
+// OnRecover registers a hook invoked (outside the network lock) whenever
+// a crashed node comes back up — the other moment, besides a heal, when
+// dormant reconciliation work must restart.
+func (n *Network) OnRecover(fn func(Address)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.recoverHooks = append(n.recoverHooks, fn)
 }
 
 // Stats returns a snapshot of network counters.
@@ -354,11 +393,25 @@ func (nd *Node) Send(msg Message) error {
 }
 
 // SetDown marks the node crashed (true) or recovered (false). A down node
-// neither sends nor receives; in-flight messages to it are lost.
+// neither sends nor receives; in-flight messages to it are lost. A crash
+// also prunes stale FIFO ordering state, keeping the bookkeeping from
+// growing without bound across long crash/recover scenarios; a recovery
+// fires the network's OnRecover hooks.
 func (nd *Node) SetDown(down bool) {
 	nd.net.mu.Lock()
-	defer nd.net.mu.Unlock()
+	recovered := !nd.up && !down
 	nd.up = !down
+	if down {
+		nd.net.pruneFIFOLocked()
+	}
+	var hooks []func(Address)
+	if recovered {
+		hooks = append(hooks, nd.net.recoverHooks...)
+	}
+	nd.net.mu.Unlock()
+	for _, fn := range hooks {
+		fn(nd.addr)
+	}
 }
 
 // Up reports whether the node is running.

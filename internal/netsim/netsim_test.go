@@ -331,3 +331,73 @@ func TestSizeOverride(t *testing.T) {
 		t.Fatal("oversize message never arrived")
 	}
 }
+
+// fifoEntries counts live FIFO high-water marks (white-box).
+func (n *Network) fifoEntries() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.lastFIFO)
+}
+
+func TestFIFOBookkeepingPrunedOnHealAndCrash(t *testing.T) {
+	net, clk := newTestNet(t)
+	a := net.MustAddNode("a")
+	b := net.MustAddNode("b")
+	c := net.MustAddNode("c")
+	var order []string
+	b.Handle(func(m Message) { order = append(order, string(m.Payload)) })
+	c.Handle(func(Message) {})
+	// 1 KB/s bandwidth makes large messages slow, so FIFO marks matter.
+	fifo := LinkProfile{Latency: 5 * time.Millisecond, FIFO: true, Bandwidth: 1024}
+	net.SetLink("a", "b", fifo)
+	net.SetLink("a", "c", fifo)
+
+	for i := 0; i < 3; i++ {
+		if err := a.Send(Message{To: "b", Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send(Message{To: "c", Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.RunUntilIdle()
+	if got := net.fifoEntries(); got != 2 {
+		t.Fatalf("fifo entries = %d, want 2", got)
+	}
+
+	// All marks are in the past now: a crash prunes the stale state.
+	c.SetDown(true)
+	if got := net.fifoEntries(); got != 0 {
+		t.Fatalf("fifo entries after crash = %d, want 0", got)
+	}
+	c.SetDown(false)
+
+	// An in-flight message's mark is in the future: Heal must keep it so
+	// FIFO ordering survives, while hooks still fire.
+	order = nil
+	hooks := 0
+	net.OnHeal(func() { hooks++ })
+	if err := a.Send(Message{To: "b", Payload: []byte("1"), Size: 2048}); err != nil {
+		t.Fatal(err) // ~2s transit at 1 KB/s
+	}
+	net.Partition([]Address{"a", "b"}, []Address{"c"})
+	net.Heal()
+	if hooks != 1 {
+		t.Fatalf("heal hooks fired %d times", hooks)
+	}
+	if got := net.fifoEntries(); got != 1 {
+		t.Fatalf("in-flight fifo mark pruned: entries = %d, want 1", got)
+	}
+	if err := a.Send(Message{To: "b", Payload: []byte("2")}); err != nil {
+		t.Fatal(err) // small: would overtake "1" without the kept mark
+	}
+	clk.RunUntilIdle()
+	if len(order) != 2 || order[0] != "1" || order[1] != "2" {
+		t.Fatalf("order after heal = %v", order)
+	}
+	// Once delivered, the next heal clears the now-stale mark.
+	net.Heal()
+	if got := net.fifoEntries(); got != 0 {
+		t.Fatalf("fifo entries after final heal = %d, want 0", got)
+	}
+}

@@ -1,0 +1,430 @@
+// Package replica makes the information model genuinely multi-site: each
+// site hosts its own information.Space replica, and Replicators keep the
+// replicas convergent with a push-pull anti-entropy protocol (digest
+// exchange → delta pull → apply) run as an rpc service.
+//
+// Because every exchange is an rpc interrogation, sync traffic traverses
+// the engineering channel stack like all other traffic in the repository:
+// it is traced, counted in the fabric's per-channel statistics, and
+// fault-injectable through channel interceptors. Nothing about
+// replication bypasses the engineering viewpoint.
+//
+// Rounds are idle-aware so a simulation drains to quiescence: a
+// replicator goes dormant once a round moves no data and re-arms on local
+// writes (via a Space subscription), on SyncNow (e.g. after a partition
+// heals), and while rounds keep failing — up to a failure cap, so an
+// unreachable peer cannot keep the event loop spinning forever.
+package replica
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mocca/internal/information"
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+	"mocca/internal/vclock"
+)
+
+// RPC method names of the anti-entropy protocol.
+const (
+	// MethodSync is the digest exchange: the caller sends its digest, the
+	// peer answers with its own digest plus every object the caller has
+	// not fully seen (the delta pull, folded into the same interrogation).
+	MethodSync = "replica.sync"
+	// MethodPush delivers objects the caller holds that the peer's digest
+	// had not seen — the push half that lets one round converge a pair.
+	MethodPush = "replica.push"
+)
+
+// Tunables.
+const (
+	// DefaultInterval separates anti-entropy rounds while armed.
+	DefaultInterval = time.Second
+	// DefaultSyncTimeout bounds each peer exchange so a dead peer degrades
+	// the round instead of stalling it; anti-entropy itself is the retry.
+	DefaultSyncTimeout = 800 * time.Millisecond
+	// DefaultFailureCap is how many consecutive all-failing rounds a
+	// replicator attempts before going dormant until re-armed.
+	DefaultFailureCap = 8
+)
+
+// wireObject is the JSON form of an information.Object on the sync wire.
+// The replica-local Version is not carried: it is recomputed as VV.Sum().
+type wireObject struct {
+	ID      string            `json:"id"`
+	Schema  string            `json:"schema"`
+	Owner   string            `json:"owner"`
+	Site    string            `json:"site"`
+	Fields  map[string]string `json:"fields,omitempty"`
+	VV      vclock.Version    `json:"vv"`
+	Created int64             `json:"created"`
+	Updated int64             `json:"updated"`
+}
+
+func toWire(o *information.Object) wireObject {
+	return wireObject{
+		ID:      o.ID,
+		Schema:  o.Schema,
+		Owner:   o.Owner,
+		Site:    o.Site,
+		Fields:  o.Fields,
+		VV:      o.VV,
+		Created: o.Created.UnixNano(),
+		Updated: o.Updated.UnixNano(),
+	}
+}
+
+func fromWire(w wireObject) *information.Object {
+	return &information.Object{
+		ID:      w.ID,
+		Schema:  w.Schema,
+		Owner:   w.Owner,
+		Site:    w.Site,
+		Fields:  w.Fields,
+		Version: w.VV.Sum(),
+		VV:      w.VV,
+		Created: time.Unix(0, w.Created).UTC(),
+		Updated: time.Unix(0, w.Updated).UTC(),
+	}
+}
+
+type syncReq struct {
+	Site   string                    `json:"site"`
+	Digest map[string]vclock.Version `json:"digest"`
+}
+
+type syncResp struct {
+	Digest map[string]vclock.Version `json:"digest"`
+	Deltas []wireObject              `json:"deltas,omitempty"`
+}
+
+type pushReq struct {
+	Site    string       `json:"site"`
+	Objects []wireObject `json:"objects"`
+}
+
+type pushResp struct {
+	Applied   int `json:"applied"`
+	Conflicts int `json:"conflicts"`
+}
+
+// Stats counts a replicator's activity.
+type Stats struct {
+	Rounds        int64 // anti-entropy rounds initiated
+	PeerSyncs     int64 // successful peer exchanges
+	PeerFailures  int64 // peer exchanges that timed out or errored
+	Applied       int64 // remote objects merged in by rounds we initiated
+	Pushed        int64 // objects pushed to peers
+	Conflicts     int64 // concurrent updates this replica resolved
+	ServedDigests int64 // replica.sync requests served
+	ServedApplied int64 // objects applied on behalf of pushing peers
+}
+
+// Option configures a Replicator.
+type Option func(*Replicator)
+
+// WithSyncTimeout bounds each peer exchange.
+func WithSyncTimeout(d time.Duration) Option {
+	return func(r *Replicator) { r.timeout = d }
+}
+
+// WithFailureCap sets how many consecutive failing rounds run before the
+// replicator goes dormant until re-armed.
+func WithFailureCap(n int) Option {
+	return func(r *Replicator) { r.failureCap = n }
+}
+
+// Replicator binds one Space replica to the network: it serves the
+// anti-entropy protocol for peers and initiates its own sync rounds
+// against the configured peer set.
+type Replicator struct {
+	ep      *rpc.Endpoint
+	clock   vclock.Clock
+	space   *information.Space
+	site    string
+	timeout time.Duration
+
+	mu             sync.Mutex
+	peers          []netsim.Address
+	interval       time.Duration
+	failureCap     int
+	auto           bool
+	subscribed     bool
+	armed          bool // a round is scheduled
+	running        bool // a round is in flight
+	wantSync       bool // re-arm requested (write or SyncNow) since round start
+	wantNow        bool // the pending request asked for an immediate round
+	consecFailures int
+	stats          Stats
+}
+
+// New binds a replicator to the endpoint, registers the protocol methods,
+// and takes the replica's site name from the space.
+func New(ep *rpc.Endpoint, clock vclock.Clock, space *information.Space, opts ...Option) *Replicator {
+	r := &Replicator{
+		ep:         ep,
+		clock:      clock,
+		space:      space,
+		site:       space.Site(),
+		timeout:    DefaultSyncTimeout,
+		interval:   DefaultInterval,
+		failureCap: DefaultFailureCap,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.register()
+	return r
+}
+
+// Site returns the replica's site name.
+func (r *Replicator) Site() string { return r.site }
+
+// Space returns the replica this replicator keeps in sync.
+func (r *Replicator) Space() *information.Space { return r.space }
+
+// Addr returns the network address sync traffic originates from.
+func (r *Replicator) Addr() netsim.Address { return r.ep.Addr() }
+
+// Stats returns a snapshot of the counters.
+func (r *Replicator) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// AddPeer adds a peer replicator's address to the sync set.
+func (r *Replicator) AddPeer(addr netsim.Address) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.peers {
+		if p == addr {
+			return
+		}
+	}
+	r.peers = append(r.peers, addr)
+}
+
+// Peers returns the peer set, sorted.
+func (r *Replicator) Peers() []netsim.Address {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]netsim.Address(nil), r.peers...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AutoSync arms idle-aware anti-entropy: local writes to the space
+// schedule a round interval later, rounds repeat while they move data (or
+// keep failing, up to the failure cap), and the replicator goes dormant
+// when converged. interval <= 0 keeps the current interval.
+func (r *Replicator) AutoSync(interval time.Duration) {
+	r.mu.Lock()
+	r.auto = true
+	if interval > 0 {
+		r.interval = interval
+	}
+	subscribe := !r.subscribed
+	r.subscribed = true
+	r.mu.Unlock()
+	if subscribe {
+		r.space.Subscribe("", func(ev information.Event) {
+			// Only local writes arm a round: "apply"/"conflict" come from
+			// a peer whose own round is already spreading the state, and
+			// "share"/"relate" do not change replicated object rows.
+			if ev.Kind == "put" || ev.Kind == "update" {
+				r.SyncSoon()
+			}
+		})
+	}
+}
+
+// SyncSoon requests a round one interval from now (the steady-state write
+// coalescing path). Already-scheduled or running rounds absorb the
+// request.
+func (r *Replicator) SyncSoon() { r.schedule(-1) }
+
+// SyncNow requests a round at the next simulation instant — e.g. right
+// after a partition heals.
+func (r *Replicator) SyncNow() { r.schedule(0) }
+
+// schedule arms the round timer; d < 0 means one interval. A request
+// arriving while a round is armed or in flight is absorbed: roundDone
+// re-arms (immediately, if the request was SyncNow).
+func (r *Replicator) schedule(d time.Duration) {
+	r.mu.Lock()
+	r.wantSync = true
+	if d == 0 {
+		r.wantNow = true
+	}
+	if r.armed || r.running {
+		r.mu.Unlock()
+		return
+	}
+	r.armed = true
+	if d < 0 {
+		d = r.interval
+	}
+	r.mu.Unlock()
+	r.clock.AfterFunc(d, r.fire)
+}
+
+// roundState accumulates one round's outcome across its peer exchanges.
+type roundState struct {
+	moved    bool // any delta applied or pushed
+	failures int  // peers that could not be exchanged with
+}
+
+// fire initiates a round. Runs on the clock's event goroutine.
+func (r *Replicator) fire() {
+	r.mu.Lock()
+	r.armed = false
+	if r.running {
+		r.mu.Unlock()
+		return
+	}
+	r.running = true
+	r.wantSync = false
+	r.wantNow = false
+	r.stats.Rounds++
+	peers := append([]netsim.Address(nil), r.peers...)
+	r.mu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	r.syncPeer(peers, 0, roundState{})
+}
+
+// syncPeer exchanges with peers[i] and chains to the next peer; exchanges
+// run sequentially in sorted order so rounds are deterministic.
+func (r *Replicator) syncPeer(peers []netsim.Address, i int, st roundState) {
+	if i >= len(peers) {
+		r.roundDone(st)
+		return
+	}
+	peer := peers[i]
+	next := func(st roundState) { r.syncPeer(peers, i+1, st) }
+
+	r.ep.GoJSON(peer, MethodSync, syncReq{Site: r.site, Digest: r.space.Digest()}, func(res rpc.Result) {
+		var resp syncResp
+		if err := res.Decode(&resp); err != nil {
+			r.bump(func(s *Stats) { s.PeerFailures++ })
+			st.failures++
+			next(st)
+			return
+		}
+		applied := 0
+		for _, w := range resp.Deltas {
+			changed, conflict, err := r.space.ApplyRemote(fromWire(w))
+			if err != nil {
+				continue
+			}
+			if changed {
+				applied++
+			}
+			if conflict {
+				r.bump(func(s *Stats) { s.Conflicts++ })
+			}
+		}
+		r.bump(func(s *Stats) { s.PeerSyncs++; s.Applied += int64(applied) })
+		if applied > 0 {
+			st.moved = true
+		}
+
+		// Push half: everything the peer's digest had not seen — which,
+		// after applying its deltas, includes merged conflict resolutions.
+		push := r.space.NewerThan(resp.Digest)
+		if len(push) == 0 {
+			next(st)
+			return
+		}
+		wires := make([]wireObject, len(push))
+		for j, obj := range push {
+			wires[j] = toWire(obj)
+		}
+		r.ep.GoJSON(peer, MethodPush, pushReq{Site: r.site, Objects: wires}, func(res rpc.Result) {
+			var pr pushResp
+			if err := res.Decode(&pr); err != nil {
+				r.bump(func(s *Stats) { s.PeerFailures++ })
+				st.failures++
+			} else {
+				r.bump(func(s *Stats) { s.Pushed += int64(len(wires)) })
+				// Progress only if the peer actually changed state — it may
+				// have received the same objects from another site already.
+				if pr.Applied > 0 {
+					st.moved = true
+				}
+			}
+			next(st)
+		}, rpc.CallTimeout(r.timeout))
+	}, rpc.CallTimeout(r.timeout))
+}
+
+// roundDone closes a round and decides whether to re-arm: an explicit
+// request (write or SyncNow) arrived mid-round — honoured even without
+// AutoSync — or, under AutoSync, data moved or the round failed with
+// failure budget remaining (so partitions are retried, but not forever).
+func (r *Replicator) roundDone(st roundState) {
+	r.mu.Lock()
+	r.running = false
+	if st.failures > 0 {
+		r.consecFailures++
+	} else {
+		r.consecFailures = 0
+	}
+	rearm := r.wantSync || (r.auto && (st.moved ||
+		(st.failures > 0 && r.consecFailures < r.failureCap)))
+	now := r.wantNow
+	r.mu.Unlock()
+	if !rearm {
+		return
+	}
+	if now {
+		r.SyncNow()
+	} else {
+		r.SyncSoon()
+	}
+}
+
+func (r *Replicator) bump(fn func(*Stats)) {
+	r.mu.Lock()
+	fn(&r.stats)
+	r.mu.Unlock()
+}
+
+// register installs the protocol handlers. Both are pure local compute,
+// so the synchronous handler form is safe under the simulated clock.
+func (r *Replicator) register() {
+	r.ep.MustRegister(MethodSync, rpc.HandleJSON(func(_ netsim.Address, req syncReq) (syncResp, error) {
+		r.bump(func(s *Stats) { s.ServedDigests++ })
+		deltas := r.space.NewerThan(req.Digest)
+		resp := syncResp{Digest: r.space.Digest()}
+		if len(deltas) > 0 {
+			resp.Deltas = make([]wireObject, len(deltas))
+			for i, obj := range deltas {
+				resp.Deltas[i] = toWire(obj)
+			}
+		}
+		return resp, nil
+	}))
+	r.ep.MustRegister(MethodPush, rpc.HandleJSON(func(_ netsim.Address, req pushReq) (pushResp, error) {
+		var resp pushResp
+		for _, w := range req.Objects {
+			changed, conflict, err := r.space.ApplyRemote(fromWire(w))
+			if err != nil {
+				continue
+			}
+			if changed {
+				resp.Applied++
+			}
+			if conflict {
+				resp.Conflicts++
+			}
+		}
+		r.bump(func(s *Stats) {
+			s.ServedApplied += int64(resp.Applied)
+			s.Conflicts += int64(resp.Conflicts)
+		})
+		return resp, nil
+	}))
+}

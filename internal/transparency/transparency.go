@@ -32,11 +32,12 @@ type Selector struct {
 }
 
 // NewSelector creates a selector whose default mask provides every CSCW
-// transparency (the "it just works" posture); users deselect what they want
+// transparency (the "it just works" posture) plus replication transparency
+// — replicated state looks like one space; users deselect what they want
 // to see.
 func NewSelector() *Selector {
 	return &Selector{
-		defaults: odp.MaskOf(odp.Organisation, odp.Time, odp.View, odp.Activity),
+		defaults: odp.MaskOf(odp.Organisation, odp.Time, odp.View, odp.Activity, odp.Replication),
 		per:      make(map[string]odp.Mask),
 	}
 }
@@ -192,6 +193,51 @@ func FilterView(sel *Selector, principal string, fields map[string]string) map[s
 		}
 		out[k] = v
 	}
+	return out
+}
+
+// --- Replication transparency ---------------------------------------------
+
+// ReplicaMeta describes the replica that served a read of replicated
+// state: which site's replica answered, which site last wrote the object,
+// and the object's version vector at the serving replica.
+type ReplicaMeta struct {
+	// Site is the replica that served the read.
+	Site string
+	// Writer is the site whose write produced the current state.
+	Writer string
+	// Version is the serving replica's version vector for the object, in
+	// vclock.Version.String() form — comparing it across replicas is how
+	// replica lag becomes visible.
+	Version string
+}
+
+// Replica-annotation field keys. They carry the ViewPrefix so that view
+// transparency composes: a principal who selected view transparency but
+// not replication transparency still sees clean fields.
+const (
+	ReplicaSiteField    = ViewPrefix + "replica:site"
+	ReplicaWriterField  = ViewPrefix + "replica:writer"
+	ReplicaVersionField = ViewPrefix + "replica:version"
+)
+
+// FilterReplica applies replication transparency to a read of replicated
+// state. With the transparency selected the replica set looks like one
+// information space — the fields pass through untouched. Without it, the
+// reader asked to see the distribution: the returned copy is annotated
+// with which replica served the read, who wrote the state, and the
+// version vector, so replica lag is in the user's face.
+func FilterReplica(sel *Selector, principal string, meta ReplicaMeta, fields map[string]string) map[string]string {
+	if sel.For(principal).Has(odp.Replication) {
+		return fields
+	}
+	out := make(map[string]string, len(fields)+3)
+	for k, v := range fields {
+		out[k] = v
+	}
+	out[ReplicaSiteField] = meta.Site
+	out[ReplicaWriterField] = meta.Writer
+	out[ReplicaVersionField] = meta.Version
 	return out
 }
 

@@ -2,6 +2,7 @@ package transparency
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"mocca/internal/odp"
@@ -192,5 +193,37 @@ func TestActivityFilter(t *testing.T) {
 	sel.Disable("admin", odp.Activity)
 	if !ActivityFilter(sel, "admin", nil, "act-99") {
 		t.Fatal("admin cannot see unrelated activity with transparency off")
+	}
+}
+
+func TestFilterReplica(t *testing.T) {
+	sel := NewSelector()
+	meta := ReplicaMeta{Site: "upc", Writer: "gmd", Version: "gmd:2 upc:1"}
+	fields := map[string]string{"title": "doc"}
+
+	// Default posture: replication transparency selected — one space.
+	out := FilterReplica(sel, "ada", meta, fields)
+	if len(out) != 1 || out["title"] != "doc" {
+		t.Fatalf("transparent read altered fields: %v", out)
+	}
+
+	// Deselecting replication transparency surfaces the distribution.
+	sel.Disable("ada", odp.Replication)
+	out = FilterReplica(sel, "ada", meta, fields)
+	if out[ReplicaSiteField] != "upc" || out[ReplicaWriterField] != "gmd" ||
+		out[ReplicaVersionField] != "gmd:2 upc:1" {
+		t.Fatalf("annotations missing: %v", out)
+	}
+	if fields[ReplicaSiteField] != "" {
+		t.Fatal("FilterReplica mutated the caller's fields")
+	}
+
+	// The annotations are view-prefixed, so view transparency hides them.
+	if !strings.HasPrefix(ReplicaSiteField, ViewPrefix) {
+		t.Fatal("replica annotations must be view fields")
+	}
+	hidden := FilterView(sel, "ben", out)
+	if _, ok := hidden[ReplicaSiteField]; ok {
+		t.Fatal("view transparency did not hide replica annotations")
 	}
 }

@@ -1,0 +1,153 @@
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Version is a per-site version vector: one write counter per site that
+// has ever modified the associated state. It is the causality record the
+// replicated information model keeps per object — two versions compare as
+// ordered when one site has seen everything the other wrote, and as
+// concurrent when each side holds writes the other has not seen.
+//
+// The zero value (nil) is a valid empty vector.
+type Version map[string]uint64
+
+// Ordering is the outcome of comparing two version vectors.
+type Ordering int
+
+// The four possible causal relations between two version vectors.
+const (
+	Equal Ordering = iota
+	Before
+	After
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("ordering(%d)", int(o))
+	}
+}
+
+// NewVersion builds a vector with a single write by site.
+func NewVersion(site string) Version { return Version{site: 1} }
+
+// Tick records one more write by site, returning the vector (allocated if
+// nil).
+func (v Version) Tick(site string) Version {
+	if v == nil {
+		return Version{site: 1}
+	}
+	v[site]++
+	return v
+}
+
+// Counter returns site's write counter (0 if the site never wrote).
+func (v Version) Counter(site string) uint64 { return v[site] }
+
+// Sum returns the total number of writes the vector records. Because
+// every write anywhere ticks exactly one counter, Sum is merge-invariant:
+// converged replicas agree on it, which makes it usable as a replica-local
+// optimistic-concurrency version number.
+func (v Version) Sum() uint64 {
+	var n uint64
+	for _, c := range v {
+		n += c
+	}
+	return n
+}
+
+// Clone deep-copies the vector.
+func (v Version) Clone() Version {
+	if v == nil {
+		return nil
+	}
+	out := make(Version, len(v))
+	for s, c := range v {
+		out[s] = c
+	}
+	return out
+}
+
+// Merge returns a new vector holding the element-wise maximum of v and o —
+// the causal history that has seen both sides' writes.
+func (v Version) Merge(o Version) Version {
+	out := make(Version, len(v)+len(o))
+	for s, c := range v {
+		out[s] = c
+	}
+	for s, c := range o {
+		if c > out[s] {
+			out[s] = c
+		}
+	}
+	return out
+}
+
+// Compare reports the causal relation of v to o: After means v has seen
+// strictly more, Before strictly less, Concurrent that each side holds
+// writes the other lacks.
+func (v Version) Compare(o Version) Ordering {
+	var less, more bool
+	for s, c := range v {
+		switch oc := o[s]; {
+		case c > oc:
+			more = true
+		case c < oc:
+			less = true
+		}
+	}
+	for s, oc := range o {
+		if oc > v[s] {
+			less = true
+		}
+	}
+	switch {
+	case more && less:
+		return Concurrent
+	case more:
+		return After
+	case less:
+		return Before
+	default:
+		return Equal
+	}
+}
+
+// Dominates reports whether v has seen every write o has (v >= o
+// element-wise) — i.e. Compare is After or Equal.
+func (v Version) Dominates(o Version) bool {
+	c := v.Compare(o)
+	return c == After || c == Equal
+}
+
+// String renders the vector as "site:counter" pairs sorted by site, e.g.
+// "gmd:2 upc:1"; the empty vector renders as "∅".
+func (v Version) String() string {
+	if len(v) == 0 {
+		return "∅"
+	}
+	sites := make([]string, 0, len(v))
+	for s := range v {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	parts := make([]string, len(sites))
+	for i, s := range sites {
+		parts[i] = fmt.Sprintf("%s:%d", s, v[s])
+	}
+	return strings.Join(parts, " ")
+}

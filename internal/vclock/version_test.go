@@ -1,0 +1,69 @@
+package vclock
+
+import "testing"
+
+func TestVersionCompare(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Version
+		want Ordering
+	}{
+		{"both empty", nil, nil, Equal},
+		{"equal", Version{"a": 1, "b": 2}, Version{"a": 1, "b": 2}, Equal},
+		{"after", Version{"a": 2}, Version{"a": 1}, After},
+		{"after with extra site", Version{"a": 1, "b": 1}, Version{"a": 1}, After},
+		{"before", Version{"a": 1}, Version{"a": 3}, Before},
+		{"before vs extra site", Version{"a": 1}, Version{"a": 1, "c": 1}, Before},
+		{"concurrent", Version{"a": 2, "b": 1}, Version{"a": 1, "b": 2}, Concurrent},
+		{"concurrent disjoint", Version{"a": 1}, Version{"b": 1}, Concurrent},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("%s: Compare(%v,%v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestVersionTickMergeSum(t *testing.T) {
+	var v Version
+	v = v.Tick("gmd")
+	v = v.Tick("gmd")
+	if v.Counter("gmd") != 2 || v.Sum() != 2 {
+		t.Fatalf("after two ticks: %v (sum %d)", v, v.Sum())
+	}
+	o := NewVersion("upc")
+	m := v.Merge(o)
+	if m.Counter("gmd") != 2 || m.Counter("upc") != 1 || m.Sum() != 3 {
+		t.Fatalf("merge = %v", m)
+	}
+	if !m.Dominates(v) || !m.Dominates(o) {
+		t.Fatal("merge must dominate both inputs")
+	}
+	if m.Compare(v) != After || v.Compare(m) != Before {
+		t.Fatal("merge ordering wrong")
+	}
+	// Merge is a pure function of its inputs.
+	if v.Sum() != 2 || o.Sum() != 1 {
+		t.Fatal("merge mutated an input")
+	}
+	// Sum is merge-invariant under convergence: merging in either order
+	// yields the same total.
+	if o.Merge(v).Sum() != m.Sum() {
+		t.Fatal("sum not merge-invariant")
+	}
+}
+
+func TestVersionCloneAndString(t *testing.T) {
+	v := Version{"b": 2, "a": 1}
+	c := v.Clone()
+	c.Tick("a")
+	if v.Counter("a") != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if s := v.String(); s != "a:1 b:2" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Version(nil).String(); s != "∅" {
+		t.Fatalf("empty String = %q", s)
+	}
+}

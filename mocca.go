@@ -22,6 +22,8 @@ package mocca
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"mocca/internal/channel"
@@ -30,8 +32,10 @@ import (
 	"mocca/internal/directory"
 	"mocca/internal/engineering"
 	"mocca/internal/id"
+	"mocca/internal/information"
 	"mocca/internal/mhs"
 	"mocca/internal/netsim"
+	"mocca/internal/replica"
 	"mocca/internal/rpc"
 	"mocca/internal/rtc"
 	"mocca/internal/trader"
@@ -80,10 +84,17 @@ func WithDefaultLink(latency time.Duration, loss float64) Option {
 	}
 }
 
+// WithSyncInterval sets the anti-entropy interval for the per-site
+// information replicas (default one second of simulated time).
+func WithSyncInterval(interval time.Duration) Option {
+	return func(d *Deployment) { d.syncEvery = interval }
+}
+
 // Deployment is a full simulated multi-site installation.
 type Deployment struct {
-	seed int64
-	link netsim.LinkProfile
+	seed      int64
+	link      netsim.LinkProfile
+	syncEvery time.Duration
 
 	clock  *vclock.Simulated
 	net    *netsim.Network
@@ -97,13 +108,17 @@ type Deployment struct {
 	userSessions map[netsim.Address]*rtc.Session
 }
 
-// Site is one organisation's installation: an MTA plus local users.
+// Site is one organisation's installation: an MTA, local users, and the
+// site's replica of the information space kept convergent by channel-borne
+// anti-entropy sync.
 type Site struct {
 	Name   string
 	Domain string
 
-	dep *Deployment
-	mta *mhs.MTA
+	dep  *Deployment
+	mta  *mhs.MTA
+	env  *core.SiteEnv
+	repl *replica.Replicator
 }
 
 // NewDeployment builds the simulated substrate and environment.
@@ -111,6 +126,7 @@ func NewDeployment(opts ...Option) *Deployment {
 	d := &Deployment{
 		seed:         1992,
 		link:         netsim.LinkProfile{Latency: 20 * time.Millisecond},
+		syncEvery:    replica.DefaultInterval,
 		sites:        make(map[string]*Site),
 		userEPs:      make(map[netsim.Address]*rpc.Endpoint),
 		userSessions: make(map[netsim.Address]*rtc.Session),
@@ -129,6 +145,20 @@ func NewDeployment(opts ...Option) *Deployment {
 	d.fabric = engineering.NewFabric()
 
 	d.mcu = rtc.NewServer(d.newEndpoint("mcu"), d.clock, rtc.WithIDs(d.ids))
+
+	// A healed partition or a recovered node is the moment diverged
+	// replicas can reconcile: kick an immediate sync round on every site
+	// (replicators that went dormant on the failure cap wake up; converged
+	// ones run one cheap no-op round).
+	d.net.OnHeal(d.SyncInformation)
+	d.net.OnRecover(func(addr netsim.Address) {
+		// Only a replication node coming back can have reconciliation
+		// work; restarts of MTAs, the MCU or user nodes don't warrant a
+		// full-mesh digest exchange.
+		if strings.HasPrefix(string(addr), "repl-") {
+			d.SyncInformation()
+		}
+	})
 	return d
 }
 
@@ -173,14 +203,26 @@ func (d *Deployment) ReconcileChannels() error {
 func (d *Deployment) Clock() *vclock.Simulated { return d.clock }
 
 // AddSite creates a site: one MTA serving the given domain, routed to all
-// existing sites (full mesh).
+// existing sites (full mesh), plus the site's information-space replica
+// with its anti-entropy replicator peered the same way.
 func (d *Deployment) AddSite(name, domain string) *Site {
 	addr := netsim.Address("mta-" + name)
 	mta := mhs.NewMTA(string(addr), domain, d.newEndpoint(addr), d.clock, mhs.WithIDs(d.ids))
-	site := &Site{Name: name, Domain: domain, dep: d, mta: mta}
+	senv := d.env.SiteEnv(name)
+	repl := replica.New(d.newEndpoint(netsim.Address("repl-"+name)), d.clock, senv.Space())
+	site := &Site{Name: name, Domain: domain, dep: d, mta: mta, env: senv, repl: repl}
 	for _, other := range d.sites {
 		mta.AddRoute(other.Domain, other.mta.Addr())
 		other.mta.AddRoute(domain, mta.Addr())
+		repl.AddPeer(other.repl.Addr())
+		other.repl.AddPeer(repl.Addr())
+	}
+	repl.AutoSync(d.syncEvery)
+	if len(d.sites) > 0 {
+		// A site joining an established deployment pulls the existing
+		// information state with an immediate first round — otherwise its
+		// replica stays empty until something else wakes the dormant mesh.
+		repl.SyncNow()
 	}
 	d.sites[name] = site
 	return site
@@ -190,6 +232,24 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 func (d *Deployment) Site(name string) (*Site, bool) {
 	s, ok := d.sites[name]
 	return s, ok
+}
+
+// SiteNames lists the deployment's sites, sorted.
+func (d *Deployment) SiteNames() []string {
+	out := make([]string, 0, len(d.sites))
+	for name := range d.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyncInformation kicks an immediate anti-entropy round on every site;
+// drain with Run (or Advance) afterwards to let the rounds complete.
+func (d *Deployment) SyncInformation() {
+	for _, name := range d.SiteNames() {
+		d.sites[name].repl.SyncNow()
+	}
 }
 
 // AddUser provisions a user at the site: an MHS mailbox plus registration
@@ -222,6 +282,21 @@ func lastDot(s string) int {
 
 // MTA exposes the site's message transfer agent.
 func (s *Site) MTA() *mhs.MTA { return s.mta }
+
+// Env returns the site's face of the CSCW environment: shared schemas,
+// ACL and policies, site-local information replica.
+func (s *Site) Env() *core.SiteEnv { return s.env }
+
+// Space returns the site's information-space replica. Writes land here
+// and propagate to the other sites' replicas asynchronously via
+// anti-entropy sync over the channel stack.
+func (s *Site) Space() *information.Space { return s.env.Space() }
+
+// Replicator exposes the site's anti-entropy replicator (peers, stats).
+func (s *Site) Replicator() *replica.Replicator { return s.repl }
+
+// SyncNow kicks an immediate anti-entropy round for this site.
+func (s *Site) SyncNow() { s.repl.SyncNow() }
 
 // JoinConference creates a session for a member at their own node and
 // joins it, driving the simulated clock until the join completes.
@@ -264,21 +339,40 @@ func (d *Deployment) Run() { d.clock.RunUntilIdle() }
 // Advance moves simulated time forward, delivering due events.
 func (d *Deployment) Advance(dur time.Duration) { d.clock.Advance(dur) }
 
+// driveTimeout bounds drive in wall-clock time. Simulated work completes
+// in microseconds of real time; an operation still pending after this
+// long is stuck on something no amount of simulated time will fix.
+const driveTimeout = 10 * time.Second
+
 // drive executes op on a helper goroutine while this goroutine advances
-// the clock.
+// the simulated clock, idle-aware: time jumps straight to the next
+// scheduled event instead of polling in fixed steps, and when the clock
+// has nothing scheduled it briefly yields so the operation goroutine can
+// either finish or schedule its next event.
 func (d *Deployment) drive(op func() error) error {
 	done := make(chan error, 1)
 	go func() { done <- op() }()
-	for i := 0; ; i++ {
+	start := time.Now()
+	for {
 		select {
 		case err := <-done:
 			return err
 		default:
-			time.Sleep(100 * time.Microsecond)
-			d.clock.Advance(10 * time.Millisecond)
-			if i > 200000 {
-				return fmt.Errorf("mocca: operation did not complete")
+		}
+		if deadline, ok := d.clock.NextDeadline(); ok {
+			d.clock.AdvanceTo(deadline)
+		} else {
+			// Simulated clock idle: the operation is between steps on its
+			// own goroutine. Yield until it finishes or schedules.
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(50 * time.Microsecond):
 			}
+		}
+		if time.Since(start) > driveTimeout {
+			return fmt.Errorf("mocca: operation did not complete within %v (%d simulated events still pending)",
+				driveTimeout, d.clock.Pending())
 		}
 	}
 }
