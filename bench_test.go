@@ -495,35 +495,50 @@ func BenchmarkAblationTemporalBridge(b *testing.B) {
 func BenchmarkReplicaAntiEntropy(b *testing.B) {
 	for _, n := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("sites=%d", n), func(b *testing.B) {
-			dep := NewDeployment(WithSeed(1))
-			sites := make([]*Site, n)
-			for i := range sites {
-				sites[i] = dep.AddSite(fmt.Sprintf("s%02d", i), fmt.Sprintf("s%02d.net", i))
-			}
-			obj, err := sites[0].Space().Put("ada", SharedSchemaName, map[string]string{"title": "v0"})
-			if err != nil {
-				b.Fatal(err)
-			}
-			dep.Run()
-			version := obj.Version
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				upd, err := sites[0].Space().Update("ada", obj.ID, version,
-					map[string]string{"title": fmt.Sprintf("v%d", i+1)})
-				if err != nil {
-					b.Fatal(err)
-				}
-				version = upd.Version
-				dep.Run() // drain sync rounds: all replicas converge
-			}
-			b.StopTimer()
-			for _, s := range sites[1:] {
-				got, err := s.Space().Get("ada", obj.ID)
-				if err != nil || got.Version != version {
-					b.Fatalf("replica %s diverged: %+v %v", s.Name, got, err)
-				}
-			}
-			b.ReportMetric(float64(n), "sites")
+			benchReplicaAntiEntropy(b, n, WithSeed(1))
 		})
 	}
+}
+
+// BenchmarkReplicaAntiEntropyDurable is the same write-propagate-converge
+// cycle with every replica on the durable log-structured backend, so each
+// local write and each remote apply pays a WAL append on its site.
+func BenchmarkReplicaAntiEntropyDurable(b *testing.B) {
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("sites=%d", n), func(b *testing.B) {
+			benchReplicaAntiEntropy(b, n, WithSeed(1), WithDurableStore(b.TempDir()))
+		})
+	}
+}
+
+func benchReplicaAntiEntropy(b *testing.B, n int, opts ...Option) {
+	dep := NewDeployment(opts...)
+	sites := make([]*Site, n)
+	for i := range sites {
+		sites[i] = dep.AddSite(fmt.Sprintf("s%02d", i), fmt.Sprintf("s%02d.net", i))
+	}
+	obj, err := sites[0].Space().Put("ada", SharedSchemaName, map[string]string{"title": "v0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep.Run()
+	version := obj.Version
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		upd, err := sites[0].Space().Update("ada", obj.ID, version,
+			map[string]string{"title": fmt.Sprintf("v%d", i+1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		version = upd.Version
+		dep.Run() // drain sync rounds: all replicas converge
+	}
+	b.StopTimer()
+	for _, s := range sites[1:] {
+		got, err := s.Space().Get("ada", obj.ID)
+		if err != nil || got.Version != version {
+			b.Fatalf("replica %s diverged: %+v %v", s.Name, got, err)
+		}
+	}
+	b.ReportMetric(float64(n), "sites")
 }

@@ -1,18 +1,35 @@
-// Quickstart: build a two-site deployment, send mail across sites, and
-// share an information object between two applications with different
-// native schemas — the smallest end-to-end tour of the environment.
+// Quickstart: build a two-site deployment with durable information
+// storage, send mail across sites, share an information object between
+// two applications with different native schemas, and survive a site
+// crash — the smallest end-to-end tour of the environment.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mocca"
 	"mocca/internal/information"
 )
 
 func main() {
-	dep := mocca.NewDeployment(mocca.WithSeed(1))
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Durable backend: each site keeps its information replica in a
+	// write-ahead log + snapshot under stateDir/<site>, so a crashed site
+	// recovers its replica from disk instead of rejoining empty.
+	stateDir, err := os.MkdirTemp("", "mocca-quickstart")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stateDir)
+
+	dep := mocca.NewDeployment(mocca.WithSeed(1), mocca.WithDurableStore(stateDir))
 	gmd := dep.AddSite("gmd", "gmd.de")
 	upc := dep.AddSite("upc", "upc.es")
 
@@ -22,12 +39,12 @@ func main() {
 	// 1. Asynchronous mail across management domains (X.400-style MHS).
 	if _, err := prinz.Send([]mocca.ORName{navarro.Name},
 		"open cscw systems", "will odp help? we think: yes"); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	dep.Run()
 	msgs, err := navarro.List()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("navarro received %d message(s); first subject: %q\n",
 		len(msgs), msgs[0].Envelope.Content.Subject)
@@ -48,25 +65,45 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 3. Author, share, and read back through the shared representation.
 	obj, err := dep.Env().Space().Put("prinz", "report",
 		map[string]string{"heading": "Models to support open CSCW", "text": "five models…"})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := dep.Env().Space().Share("prinz", obj.ID, "navarro", false); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	shared, err := dep.Env().Space().GetAs("navarro", obj.ID, mocca.SharedSchemaName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("navarro reads shared object: title=%q\n", shared.Fields["title"])
+
+	// 4. Durability: writes landing on a site replica are WAL-logged, so a
+	// crashed site recovers them from disk and rejoins without a full
+	// re-replication.
+	memo, err := gmd.Space().Put("prinz", mocca.SharedSchemaName,
+		map[string]string{"title": "crash survivor"})
+	if err != nil {
+		return err
+	}
+	dep.Run() // replicate gmd -> upc
+	upc.Crash()
+	if err := upc.Restart(); err != nil {
+		return err
+	}
+	recovered, err := upc.Space().Get("prinz", memo.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("upc recovered %q from its write-ahead log\n", recovered.Fields["title"])
 
 	rep := dep.Env().Snapshot()
 	fmt.Printf("environment: %d app(s), %d schema(s), %d object(s)\n",
 		len(rep.Applications), len(rep.Schemas), rep.Objects)
+	return nil
 }

@@ -13,10 +13,13 @@
 //
 // All production traffic in the repository — rpc interrogations and
 // announcements, and through them MHS transfers, conference fan-out,
-// directory and trader operations — traverses a Stack; nothing above this
-// package calls netsim.Node.Send directly. That single choke point is what
-// lets interceptors observe 100% of traffic and lets the engineering
+// directory and trader operations, and the information replicas'
+// anti-entropy sync — traverses a Stack; nothing above this package calls
+// netsim.Node.Send directly. That single choke point is what lets
+// interceptors observe 100% of traffic and lets the engineering
 // bookkeeping (engineering.Fabric) reconcile exactly with netsim.Stats.
+// ARCHITECTURE.md places this package in the viewpoint map and traces one
+// write through the full stack.
 package channel
 
 import (

@@ -76,6 +76,8 @@ type Environment struct {
 	dit        *directory.DIT
 	conform    *odp.Registry
 
+	siteBackend func(site string) information.Backend
+
 	mu       sync.RWMutex
 	apps     map[string]*Application
 	siteEnvs map[string]*SiteEnv
@@ -99,6 +101,15 @@ func WithHub(h *comm.Hub) Option {
 // rpc); by default the environment embeds a local trading function.
 func WithTrader(t *trader.Trader) Option {
 	return func(e *Environment) { e.trading = t }
+}
+
+// WithSiteBackend supplies per-site information storage: the factory is
+// called once per site when its replica is first materialised (and again
+// on ResetSiteSpace), returning the backend the site's Space runs over —
+// e.g. a durable logstore so the replica survives a crash. A nil factory
+// (the default) keeps every replica in memory.
+func WithSiteBackend(fn func(site string) information.Backend) Option {
+	return func(e *Environment) { e.siteBackend = fn }
 }
 
 // New creates an environment over the given clock, with all five models
@@ -344,17 +355,31 @@ type SiteEnv struct {
 }
 
 // SiteEnv returns the per-site environment for the named site, creating
-// its information replica on first use. The replica's events feed the
-// tailorability engine tagged with the site, so conflicts and remote
-// applies are scriptable like any other environment event.
+// its information replica on first use (over the WithSiteBackend storage,
+// if configured). The replica's events feed the tailorability engine
+// tagged with the site, so conflicts and remote applies are scriptable
+// like any other environment event.
 func (e *Environment) SiteEnv(site string) *SiteEnv {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if se, ok := e.siteEnvs[site]; ok {
 		return se
 	}
+	var backend information.Backend
+	if e.siteBackend != nil {
+		backend = e.siteBackend(site)
+	}
+	se := &SiteEnv{parent: e, site: site, space: e.newSiteSpace(site, backend)}
+	e.siteEnvs[site] = se
+	return se
+}
+
+// newSiteSpace builds one site's information replica over the given
+// backend (nil = in-memory) and feeds its events to the policy engine.
+func (e *Environment) newSiteSpace(site string, backend information.Backend) *information.Space {
 	sp := information.NewSpace(e.space.Registry(), e.acl, e.clock,
-		information.WithIDs(e.ids), information.WithSite(site))
+		information.WithIDs(e.ids), information.WithSite(site),
+		information.WithBackend(backend))
 	sp.Subscribe("", func(ev information.Event) {
 		attrs := map[string]string{"actor": ev.Actor, "kind": ev.Kind, "site": site}
 		if ev.Object != nil {
@@ -367,8 +392,24 @@ func (e *Environment) SiteEnv(site string) *SiteEnv {
 		}
 		e.engine.Dispatch(policy.Event{Kind: "info." + ev.Kind, Attrs: attrs})
 	})
-	se := &SiteEnv{parent: e, site: site, space: sp}
-	e.siteEnvs[site] = se
+	return sp
+}
+
+// ResetSiteSpace rebuilds the named site's information replica over the
+// given backend — the crash/restart path: the site's in-memory replica
+// died with the site, and a durable backend arrives here freshly
+// recovered from its log. The existing SiteEnv is kept (applications and
+// other sites hold references to it) and its space is swapped, so
+// everything bound through the SiteEnv sees the recovered replica.
+func (e *Environment) ResetSiteSpace(site string, backend information.Backend) *SiteEnv {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	se, ok := e.siteEnvs[site]
+	if !ok {
+		se = &SiteEnv{parent: e, site: site}
+		e.siteEnvs[site] = se
+	}
+	se.space = e.newSiteSpace(site, backend)
 	return se
 }
 
@@ -390,8 +431,14 @@ func (s *SiteEnv) Site() string { return s.site }
 // Parent returns the shared environment.
 func (s *SiteEnv) Parent() *Environment { return s.parent }
 
-// Space returns the site's information replica.
-func (s *SiteEnv) Space() *information.Space { return s.space }
+// Space returns the site's information replica. The read is guarded by
+// the environment lock because ResetSiteSpace swaps the replica on the
+// crash/restart path.
+func (s *SiteEnv) Space() *information.Space {
+	s.parent.mu.RLock()
+	defer s.parent.mu.RUnlock()
+	return s.space
+}
 
 // RegisterApplication admits an application through the shared
 // environment — schemas and converters are global, so an application
@@ -407,7 +454,7 @@ func (s *SiteEnv) RegisterApplication(app Application) error {
 // the read, the writing site and the version vector — replica lag in the
 // user's face.
 func (s *SiteEnv) Get(actor, objID string) (*information.Object, error) {
-	obj, err := s.space.Get(actor, objID)
+	obj, err := s.Space().Get(actor, objID)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,53 @@
+package information
+
+import "mocca/internal/vclock"
+
+// Backend is the storage surface a Space drives: the keeping of object
+// rows and the relationship graph, with one atomic read-modify-write
+// primitive (Exec) and the two replication queries (Digest, NewerThan).
+// It is the seam between the information viewpoint and its engineering
+// realisation — the engine, anti-entropy replication and the groupware
+// applications are all written against this interface and cannot tell
+// backends apart.
+//
+// Two implementations exist: the in-memory Store (the default, rows live
+// only as long as the process) and logstore.Store (a disk-backed
+// log-structured store whose replica survives a site crash). Every
+// implementation must honour the Store's copying contract: reads and Exec
+// return values are deep copies. The Exec callback's argument may be the
+// live row (in-memory Store) or a private copy (logstore, which must be
+// able to abandon a mutation whose log append fails) — so a mutation
+// takes effect only by RETURNING the row to store; callbacks must never
+// rely on in-place edits of their argument persisting.
+type Backend interface {
+	// Len returns the number of stored objects.
+	Len() int
+	// Get returns a copy of the row for id.
+	Get(id string) (*Object, bool)
+	// Exec runs fn against the live row for id under the backend's write
+	// exclusion — the atomic read-modify-write primitive every engine
+	// mutation builds on. fn receives the stored row (nil if absent) and
+	// returns the row to store in its place; returning nil stores nothing.
+	Exec(id string, fn func(cur *Object) (*Object, error)) (*Object, error)
+	// Snapshot returns copies of every row matching pred (nil pred = all).
+	Snapshot(pred func(*Object) bool) []*Object
+	// Digest summarises every row's version vector for anti-entropy
+	// exchange.
+	Digest() map[string]vclock.Version
+	// NewerThan returns copies of rows the given digest has not fully
+	// seen — the delta a peer with that digest needs to pull.
+	NewerThan(digest map[string]vclock.Version) []*Object
+
+	// Relate records a typed relationship; composition and dependency must
+	// stay acyclic. Both endpoints must exist.
+	Relate(from string, kind RelKind, to string) error
+	// Related returns directly related object ids, sorted.
+	Related(from string, kind RelKind) []string
+	// Dependents returns ids of objects that relate TO the given id.
+	Dependents(to string, kind RelKind) []string
+	// Closure returns all ids transitively reachable from id over kind.
+	Closure(from string, kind RelKind) []string
+}
+
+// Store implements Backend.
+var _ Backend = (*Store)(nil)

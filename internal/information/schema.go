@@ -10,6 +10,15 @@
 // representation, and the Space finds multi-hop conversion paths between
 // any two schemas. This is what turns figure 2 (N² pairwise adapters) into
 // figure 3 (N registrations against the environment).
+//
+// In the ODP viewpoint map (see ARCHITECTURE.md) this package is the
+// information viewpoint: the Space is the engine (schemas, access,
+// events, replica merge policy) and the Backend interface is the seam to
+// the engineering realisation of storage — information.Store keeps rows
+// in memory, information/logstore keeps them in a write-ahead log with
+// snapshots so a site's replica survives a crash. Objects carry per-site
+// version vectors (vclock.Version); internal/replica keeps replicas of
+// one logical space convergent by anti-entropy.
 package information
 
 import (

@@ -40,6 +40,11 @@ func (o *Object) clone() *Object {
 	return &out
 }
 
+// Clone returns a deep copy of the object. Backends use it to isolate a
+// mutation callback from the live row, so a mutation they cannot commit
+// (e.g. a failed log append) leaves stored state untouched.
+func (o *Object) Clone() *Object { return o.clone() }
+
 // RelKind is an inter-object relationship, per the paper's "composition,
 // dependencies".
 type RelKind string
@@ -95,7 +100,7 @@ type Space struct {
 	clock    vclock.Clock
 	ids      *id.Generator
 	site     string
-	store    *Store
+	store    Backend
 
 	mu    sync.RWMutex
 	subs  []subscription
@@ -132,6 +137,17 @@ func WithIDs(g *id.Generator) SpaceOption {
 // unique across the replica set. Defaults to "local".
 func WithSite(site string) SpaceOption {
 	return func(s *Space) { s.site = site }
+}
+
+// WithBackend selects the storage backend beneath the engine — e.g. a
+// disk-backed logstore.Store so the replica survives a site crash. A nil
+// backend keeps the in-memory default.
+func WithBackend(b Backend) SpaceOption {
+	return func(s *Space) {
+		if b != nil {
+			s.store = b
+		}
+	}
 }
 
 // NewSpace creates a space over the given schema registry and ACL system.

@@ -17,10 +17,12 @@ import (
 //
 // Reads (Get, Snapshot, NewerThan) and every value Exec returns are deep
 // copies, so no caller retains an alias to a stored row. The one
-// deliberate exception is the Exec callback itself: it operates on the
-// live row under the store's lock — that is what makes it the atomic
+// deliberate exception is the Exec callback itself: here it operates on
+// the live row under the store's lock — that is what makes it the atomic
 // read-modify-write primitive — and must not retain the pointer past its
-// return.
+// return. Other Backend implementations may hand the callback a copy
+// instead (see the Backend contract), so callbacks must signal a
+// mutation by returning the row, never by in-place edits alone.
 type Store struct {
 	mu        sync.RWMutex
 	objects   map[string]*Object
@@ -162,6 +164,40 @@ func (st *Store) Related(from string, kind RelKind) []string {
 	defer st.mu.RUnlock()
 	out := append([]string(nil), st.relations[from][kind]...)
 	sort.Strings(out)
+	return out
+}
+
+// Relation is one edge of the relationship graph in dump form.
+type Relation struct {
+	From string
+	Kind RelKind
+	To   string
+}
+
+// Relations dumps every relationship edge, sorted by (from, kind, to) —
+// the unit a durable backend persists alongside object rows when it
+// snapshots the store.
+func (st *Store) Relations() []Relation {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []Relation
+	for from, kinds := range st.relations {
+		for kind, tos := range kinds {
+			for _, to := range tos {
+				out = append(out, Relation{From: from, Kind: kind, To: to})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.To < b.To
+	})
 	return out
 }
 

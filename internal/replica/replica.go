@@ -14,6 +14,14 @@
 // writes (via a Space subscription), on SyncNow (e.g. after a partition
 // heals), and while rounds keep failing — up to a failure cap, so an
 // unreachable peer cannot keep the event loop spinning forever.
+//
+// In the viewpoint map (ARCHITECTURE.md) this package belongs to the
+// information viewpoint — it defines what replica convergence means —
+// while borrowing all of its machinery from the engineering viewpoint.
+// It is storage-agnostic: digests and deltas come from whatever
+// information.Backend the space runs over, so a site recovered from the
+// durable logstore re-enters anti-entropy with correct digests and pulls
+// only the writes it missed.
 package replica
 
 import (

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -146,5 +147,50 @@ func TestAllTrafficTraversesChannel(t *testing.T) {
 	ns := f.net.Stats()
 	if ns.Sent != 3 || ns.Delivered != 3 {
 		t.Fatalf("network stats = %+v", ns)
+	}
+}
+
+// A deterministic local send failure — here a method name violating the
+// wire size limit — must short-circuit the retry/backoff schedule: the
+// same envelope fails identically on every attempt, so a call that can
+// never succeed must not burn simulated hours walking the schedule.
+func TestPermanentSendErrorShortCircuitsBackoff(t *testing.T) {
+	f := newFixture(t)
+	oversize := strings.Repeat("m", 1<<16) // method header exceeds maxStringLen
+
+	var retries []int
+	var got Result
+	done := false
+	f.a.Go("b", oversize, nil, func(r Result) { got = r; done = true },
+		CallTimeout(time.Second),
+		CallBackoff(2*time.Second, 10*time.Second, 60*time.Second),
+		CallOnRetry(func(n int) { retries = append(retries, n) }))
+
+	// The failure is synchronous: no timeout, no backoff timer, no retry.
+	if !done {
+		t.Fatal("oversize call did not complete immediately")
+	}
+	if !errors.Is(got.Err, wire.ErrOversize) {
+		t.Fatalf("err = %v, want wire.ErrOversize", got.Err)
+	}
+	if len(retries) != 0 {
+		t.Fatalf("retried %v times; permanent errors must not retry", retries)
+	}
+	if pending := f.clk.Pending(); pending != 0 {
+		t.Fatalf("%d timers left armed by a dead-on-arrival call", pending)
+	}
+	if st := f.a.Stats(); st.Timeouts != 0 {
+		t.Fatalf("Timeouts = %d, want 0", st.Timeouts)
+	}
+
+	// Transient failures keep the old behaviour: the full schedule runs.
+	f.net.Partition([]netsim.Address{"a"}, []netsim.Address{"b"})
+	retries, done = nil, false
+	f.a.Go("b", "echo", nil, func(r Result) { done = true },
+		CallTimeout(time.Second), CallBackoff(time.Second, time.Second),
+		CallOnRetry(func(n int) { retries = append(retries, n) }))
+	f.clk.RunUntilIdle()
+	if !done || len(retries) != 2 {
+		t.Fatalf("transient failure: done=%v retries=%v, want full schedule", done, retries)
 	}
 }

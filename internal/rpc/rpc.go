@@ -340,16 +340,31 @@ func (e *Endpoint) attempt(to netsim.Address, method string, body []byte, done f
 	env := wire.NewEnvelope(kindRequest, corr, body)
 	env.SetHeader("method", method)
 	if err := e.ch.Send(to, env); err != nil {
-		// A local transmission failure (node down, interceptor veto)
-		// consumes the same retry budget as a timeout: the condition may
-		// clear before the schedule runs out.
 		pc, ok := e.takePending(corr)
 		if !ok {
 			return
 		}
 		pc.timer.Stop()
+		// A transient local failure (node down, interceptor veto) consumes
+		// the same retry budget as a timeout: the condition may clear
+		// before the schedule runs out. A deterministic one (the envelope
+		// violates wire size limits) can never succeed — fail now instead
+		// of burning the whole backoff schedule on it.
+		if permanentSendError(err) {
+			done(Result{Err: err})
+			return
+		}
 		e.retryOrFail(to, method, body, done, s, err)
 	}
+}
+
+// permanentSendError reports whether a local send failure is deterministic:
+// the same envelope will fail the same way on every attempt, so retrying
+// is pure waste. Today that is exactly the wire marshalling limits — an
+// oversize body, header or method name is a property of the request, not
+// of the network.
+func permanentSendError(err error) bool {
+	return errors.Is(err, wire.ErrOversize)
 }
 
 // takePending removes and returns the pending call for corr; exactly one

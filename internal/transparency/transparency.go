@@ -11,6 +11,14 @@
 //   - time: make interaction independent of synchronous/asynchronous mode
 //   - view: hide per-user presentation state (WYSIWIS apps opt out)
 //   - activity: hide objects and events of unrelated activities
+//
+// In the viewpoint map (ARCHITECTURE.md) this is the computational
+// viewpoint's selection mechanism: transparencies the user leaves
+// selected are provided by engineering machinery (replication by
+// internal/replica, persistence by information/logstore, bindings by
+// internal/channel); deselecting one surfaces that machinery — e.g.
+// FilterReplica annotates reads with the serving replica, writing site
+// and version vector.
 package transparency
 
 import (

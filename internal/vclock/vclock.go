@@ -6,6 +6,12 @@
 // The simulated clock is also a discrete-event scheduler: goroutines
 // register timers, and Advance drains them in timestamp order. This is the
 // standard deterministic-simulation design used by network simulators.
+//
+// The package also carries the information viewpoint's causality record
+// (see ARCHITECTURE.md): Version is the per-site version vector kept on
+// every replicated information object, with a canonical binary encoding
+// (AppendBinary/DecodeVersion) so vectors round-trip byte-for-byte
+// through the durable log and the sync wire.
 package vclock
 
 import (

@@ -1,9 +1,12 @@
 package vclock
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+
+	"mocca/internal/wire"
 )
 
 // Version is a per-site version vector: one write counter per site that
@@ -132,6 +135,59 @@ func (v Version) Compare(o Version) Ordering {
 func (v Version) Dominates(o Version) bool {
 	c := v.Compare(o)
 	return c == After || c == Equal
+}
+
+// ErrBadVersion reports a malformed binary version encoding.
+var ErrBadVersion = errors.New("vclock: bad version encoding")
+
+// AppendBinary appends a deterministic binary encoding of the vector to
+// dst: a uint64 entry count, then per site in sorted order a
+// length-prefixed site name and a uint64 counter, all in wire's shared
+// codec layout. Sorted order makes the encoding canonical — equal
+// vectors encode to equal bytes — which is what lets durable-store
+// recovery be verified byte-for-byte.
+func (v Version) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUint64(dst, uint64(len(v)))
+	sites := make([]string, 0, len(v))
+	for s := range v {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		dst = wire.AppendString(dst, s)
+		dst = wire.AppendUint64(dst, v[s])
+	}
+	return dst
+}
+
+// DecodeVersion decodes a vector produced by AppendBinary from data,
+// returning it (nil for the empty vector) and the remaining bytes.
+func DecodeVersion(data []byte) (Version, []byte, error) {
+	n, data, err := wire.ConsumeUint64(data)
+	if err != nil {
+		return nil, data, fmt.Errorf("%w: %v", ErrBadVersion, err)
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	// Each entry takes at least 12 bytes (length prefix + counter); a
+	// count past that bound is corruption, caught before allocating.
+	if n > uint64(len(data))/12 {
+		return nil, data, ErrBadVersion
+	}
+	v := make(Version, n)
+	for i := uint64(0); i < n; i++ {
+		var site string
+		if site, data, err = wire.ConsumeString(data); err != nil {
+			return nil, data, fmt.Errorf("%w: %v", ErrBadVersion, err)
+		}
+		var c uint64
+		if c, data, err = wire.ConsumeUint64(data); err != nil {
+			return nil, data, fmt.Errorf("%w: %v", ErrBadVersion, err)
+		}
+		v[site] = c
+	}
+	return v, data, nil
 }
 
 // String renders the vector as "site:counter" pairs sorted by site, e.g.

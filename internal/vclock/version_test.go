@@ -67,3 +67,46 @@ func TestVersionCloneAndString(t *testing.T) {
 		t.Fatalf("empty String = %q", s)
 	}
 }
+
+func TestVersionBinaryRoundTrip(t *testing.T) {
+	cases := []Version{
+		nil,
+		{"gmd": 1},
+		{"gmd": 3, "upc": 9, "nott": 1},
+	}
+	for _, v := range cases {
+		data := v.AppendBinary([]byte("prefix"))
+		got, rest, err := DecodeVersion(data[len("prefix"):])
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d trailing bytes", v, len(rest))
+		}
+		if got.Compare(v) != Equal || len(got) != len(v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestVersionBinaryIsCanonical(t *testing.T) {
+	a := Version{"gmd": 2, "upc": 5}
+	b := Version{"upc": 5, "gmd": 2}
+	ab, bb := a.AppendBinary(nil), b.AppendBinary(nil)
+	if string(ab) != string(bb) {
+		t.Fatal("equal vectors encoded differently")
+	}
+}
+
+func TestDecodeVersionMalformed(t *testing.T) {
+	for _, data := range [][]byte{
+		{},                             // no count
+		{0, 1},                         // count 1, nothing else
+		{0, 1, 0, 0, 0, 9},             // site length past end
+		{0, 1, 0xFF, 0xFF, 0xFF, 0xFF}, // huge site length (overflows int32)
+	} {
+		if _, _, err := DecodeVersion(data); err == nil {
+			t.Fatalf("accepted malformed %v", data)
+		}
+	}
+}

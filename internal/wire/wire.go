@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"slices"
 	"sync"
 )
@@ -38,6 +39,13 @@ const (
 	maxBodyLen   = 1 << 26 // 64 MiB
 	maxHeaders   = 1 << 12
 )
+
+// MaxStringLen is the exclusive upper bound on encoded string length:
+// strings must be strictly shorter than this to marshal. Writers that
+// persist strings (e.g. the durable log) must enforce it up front —
+// anything at or past the bound would encode but fail ConsumeString on
+// the way back.
+const MaxStringLen = maxStringLen
 
 // Envelope is the unit framed onto the simulated network.
 type Envelope struct {
@@ -256,7 +264,8 @@ func (r *reader) bytes(limit int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if int(n) >= limit {
+	// uint64 comparison so a corrupt length cannot overflow int on 32-bit.
+	if uint64(n) >= uint64(limit) {
 		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, n)
 	}
 	if r.pos+int(n) > len(r.data) {
@@ -265,6 +274,107 @@ func (r *reader) bytes(limit int) ([]byte, error) {
 	out := r.data[r.pos : r.pos+int(n) : r.pos+int(n)]
 	r.pos += int(n)
 	return out, nil
+}
+
+// --- CRC-framed records ---------------------------------------------------
+//
+// Records are the framing unit of durable logs (the log-structured
+// information store's WAL and snapshot files): a fixed header carrying the
+// payload length and a CRC-32 checksum, then the payload bytes. Unlike
+// envelopes, records never cross the network — the checksum exists so a
+// torn write or bit rot at the tail of a log is detected and recovery can
+// stop at the last intact record instead of replaying garbage.
+
+// recordMagic distinguishes record framing from envelope framing, so a log
+// file misread as an envelope stream (or vice versa) fails immediately.
+const recordMagic uint16 = 0x0DA
+
+// RecordOverhead is the number of framing bytes AppendRecord adds to a
+// payload: magic, length, checksum.
+const RecordOverhead = 2 + 4 + 4
+
+// ErrBadCRC reports a record whose payload does not match its checksum.
+var ErrBadCRC = errors.New("wire: record checksum mismatch")
+
+// AppendRecord appends one CRC-framed record carrying payload to dst and
+// returns the extended slice.
+func AppendRecord(dst, payload []byte) ([]byte, error) {
+	if len(payload) >= maxBodyLen {
+		return nil, fmt.Errorf("%w: record payload %d bytes", ErrOversize, len(payload))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, recordMagic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...), nil
+}
+
+// NextRecord decodes the first record in data, returning its payload
+// (aliasing data) and the remaining bytes. A short buffer returns
+// ErrTruncated, a corrupted header ErrBadMagic or ErrOversize, and a
+// payload failing its checksum ErrBadCRC — log recovery treats any of
+// these as the end of the intact prefix.
+func NextRecord(data []byte) (payload, rest []byte, err error) {
+	if len(data) < RecordOverhead {
+		return nil, data, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data) != recordMagic {
+		return nil, data, ErrBadMagic
+	}
+	// Bounds-check in uint64: a corrupt length with the high bit set must
+	// not overflow int on 32-bit platforms and dodge the checks.
+	n := binary.BigEndian.Uint32(data[2:])
+	if uint64(n) >= maxBodyLen {
+		return nil, data, fmt.Errorf("%w: %d-byte record", ErrOversize, n)
+	}
+	if uint64(len(data)) < RecordOverhead+uint64(n) {
+		return nil, data, ErrTruncated
+	}
+	sum := binary.BigEndian.Uint32(data[6:])
+	payload = data[RecordOverhead : RecordOverhead+int(n) : RecordOverhead+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, data, ErrBadCRC
+	}
+	return payload, data[RecordOverhead+int(n):], nil
+}
+
+// --- codec helpers --------------------------------------------------------
+//
+// Length-prefixed primitives shared by record payload codecs. They use the
+// same layout as envelope fields (big-endian, uint32 length prefixes) so
+// every byte format in the repository reads the same way.
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte { return appendStr(dst, s) }
+
+// ConsumeString decodes a length-prefixed string from data, returning it
+// and the remaining bytes.
+func ConsumeString(data []byte) (string, []byte, error) {
+	if len(data) < 4 {
+		return "", data, ErrTruncated
+	}
+	// uint64 comparisons, for the same 32-bit overflow reason as NextRecord.
+	n := binary.BigEndian.Uint32(data)
+	if uint64(n) >= maxStringLen {
+		return "", data, fmt.Errorf("%w: %d-byte string", ErrOversize, n)
+	}
+	if uint64(len(data)) < 4+uint64(n) {
+		return "", data, ErrTruncated
+	}
+	return string(data[4 : 4+int(n)]), data[4+int(n):], nil
+}
+
+// AppendUint64 appends a big-endian uint64.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// ConsumeUint64 decodes a big-endian uint64 from data, returning it and
+// the remaining bytes.
+func ConsumeUint64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, data, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(data), data[8:], nil
 }
 
 // EncodeBody marshals v as JSON for use as an envelope body.

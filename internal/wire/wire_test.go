@@ -182,3 +182,70 @@ func TestQuickUnmarshalNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte("first"), {}, []byte("third record")}
+	for _, p := range payloads {
+		var err error
+		if buf, err = AppendRecord(buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest := buf
+	for i, want := range payloads {
+		payload, next, err := NextRecord(rest)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("record %d = %q, want %q", i, payload, want)
+		}
+		rest = next
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestRecordTruncationAndCorruption(t *testing.T) {
+	buf, err := AppendRecord(nil, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NextRecord(buf[:len(buf)-2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn record: %v, want ErrTruncated", err)
+	}
+	if _, _, err := NextRecord(buf[:RecordOverhead-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn header: %v, want ErrTruncated", err)
+	}
+	flipped := append([]byte(nil), buf...)
+	flipped[len(flipped)-1] ^= 1
+	if _, _, err := NextRecord(flipped); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("bit rot: %v, want ErrBadCRC", err)
+	}
+	badMagic := append([]byte(nil), buf...)
+	badMagic[0] ^= 0xFF
+	if _, _, err := NextRecord(badMagic); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecHelpers(t *testing.T) {
+	buf := AppendString(nil, "hello")
+	buf = AppendUint64(buf, 42)
+	s, rest, err := ConsumeString(buf)
+	if err != nil || s != "hello" {
+		t.Fatalf("ConsumeString = %q, %v", s, err)
+	}
+	v, rest, err := ConsumeUint64(rest)
+	if err != nil || v != 42 || len(rest) != 0 {
+		t.Fatalf("ConsumeUint64 = %d, rest %d, %v", v, len(rest), err)
+	}
+	if _, _, err := ConsumeString([]byte{0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short string: %v", err)
+	}
+	if _, _, err := ConsumeUint64([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short uint64: %v", err)
+	}
+}

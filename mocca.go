@@ -22,6 +22,8 @@ package mocca
 
 import (
 	"fmt"
+	"io"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"mocca/internal/engineering"
 	"mocca/internal/id"
 	"mocca/internal/information"
+	"mocca/internal/information/logstore"
 	"mocca/internal/mhs"
 	"mocca/internal/netsim"
 	"mocca/internal/replica"
@@ -90,11 +93,33 @@ func WithSyncInterval(interval time.Duration) Option {
 	return func(d *Deployment) { d.syncEvery = interval }
 }
 
+// WithSiteBackend supplies per-site information storage: the factory is
+// called when a site's replica is materialised (AddSite) and again on
+// Site.Restart, so a durable backend re-opened by the factory recovers
+// the replica from disk. AddSite panics if the factory fails — a
+// deployment whose storage cannot open has nothing sensible to simulate.
+func WithSiteBackend(fn func(site string) (information.Backend, error)) Option {
+	return func(d *Deployment) { d.backendFor = fn }
+}
+
+// WithDurableStore keeps every site's information replica in a
+// log-structured store under dir/<site> (write-ahead log + periodic
+// snapshot, see internal/information/logstore). A site killed with
+// Site.Crash and brought back with Site.Restart recovers its replica
+// from disk and re-enters anti-entropy with correct digests, so peers
+// send it only what it missed.
+func WithDurableStore(dir string) Option {
+	return WithSiteBackend(func(site string) (information.Backend, error) {
+		return logstore.Open(filepath.Join(dir, site))
+	})
+}
+
 // Deployment is a full simulated multi-site installation.
 type Deployment struct {
-	seed      int64
-	link      netsim.LinkProfile
-	syncEvery time.Duration
+	seed       int64
+	link       netsim.LinkProfile
+	syncEvery  time.Duration
+	backendFor func(site string) (information.Backend, error)
 
 	clock  *vclock.Simulated
 	net    *netsim.Network
@@ -104,6 +129,7 @@ type Deployment struct {
 
 	mcu          *rtc.Server
 	sites        map[string]*Site
+	backends     map[string]information.Backend
 	userEPs      map[netsim.Address]*rpc.Endpoint
 	userSessions map[netsim.Address]*rtc.Session
 }
@@ -115,10 +141,12 @@ type Site struct {
 	Name   string
 	Domain string
 
-	dep  *Deployment
-	mta  *mhs.MTA
-	env  *core.SiteEnv
-	repl *replica.Replicator
+	dep     *Deployment
+	mta     *mhs.MTA
+	env     *core.SiteEnv
+	repl    *replica.Replicator
+	replEP  *rpc.Endpoint // the replicator's endpoint; closed on Crash
+	crashed bool
 }
 
 // NewDeployment builds the simulated substrate and environment.
@@ -128,6 +156,7 @@ func NewDeployment(opts ...Option) *Deployment {
 		link:         netsim.LinkProfile{Latency: 20 * time.Millisecond},
 		syncEvery:    replica.DefaultInterval,
 		sites:        make(map[string]*Site),
+		backends:     make(map[string]information.Backend),
 		userEPs:      make(map[netsim.Address]*rpc.Endpoint),
 		userSessions: make(map[netsim.Address]*rtc.Session),
 	}
@@ -141,7 +170,11 @@ func NewDeployment(opts ...Option) *Deployment {
 		netsim.WithDefaultLink(d.link),
 	)
 	d.ids = id.NewSeeded(d.seed)
-	d.env = core.New(d.clock, core.WithIDs(d.ids))
+	envOpts := []core.Option{core.WithIDs(d.ids)}
+	if d.backendFor != nil {
+		envOpts = append(envOpts, core.WithSiteBackend(d.openBackend))
+	}
+	d.env = core.New(d.clock, envOpts...)
 	d.fabric = engineering.NewFabric()
 
 	d.mcu = rtc.NewServer(d.newEndpoint("mcu"), d.clock, rtc.WithIDs(d.ids))
@@ -166,9 +199,38 @@ func NewDeployment(opts ...Option) *Deployment {
 // engineering fabric observing the channel stack, so every channel the
 // deployment opens shows up in the engineering bookkeeping.
 func (d *Deployment) newEndpoint(addr netsim.Address) *rpc.Endpoint {
-	return rpc.NewEndpoint(d.net.MustAddNode(addr), d.clock,
+	return d.endpointOver(d.net.MustAddNode(addr))
+}
+
+// endpointAt is newEndpoint for an address whose node may already exist:
+// restarts keep the node (the address is the site's stable network
+// identity) and hand its inbound traffic to a fresh channel stack, which
+// is what a rebooted engineering capsule looks like on the wire.
+func (d *Deployment) endpointAt(addr netsim.Address) *rpc.Endpoint {
+	if node, ok := d.net.Node(addr); ok {
+		return d.endpointOver(node)
+	}
+	return d.newEndpoint(addr)
+}
+
+// endpointOver is the one place deployment endpoints are wired, so every
+// endpoint — first boot or restart — gets identical options.
+func (d *Deployment) endpointOver(node *netsim.Node) *rpc.Endpoint {
+	return rpc.NewEndpoint(node, d.clock,
 		rpc.WithIDs(d.ids),
 		rpc.WithChannel(channel.WithObserver(d.fabric)))
+}
+
+// openBackend runs the configured backend factory for a site, tracking
+// the result so Crash can close it. It panics on factory failure — see
+// WithSiteBackend.
+func (d *Deployment) openBackend(site string) information.Backend {
+	b, err := d.backendFor(site)
+	if err != nil {
+		panic(fmt.Sprintf("mocca: open information backend for site %q: %v", site, err))
+	}
+	d.backends[site] = b
+	return b
 }
 
 // Env returns the CSCW environment.
@@ -209,8 +271,9 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 	addr := netsim.Address("mta-" + name)
 	mta := mhs.NewMTA(string(addr), domain, d.newEndpoint(addr), d.clock, mhs.WithIDs(d.ids))
 	senv := d.env.SiteEnv(name)
-	repl := replica.New(d.newEndpoint(netsim.Address("repl-"+name)), d.clock, senv.Space())
-	site := &Site{Name: name, Domain: domain, dep: d, mta: mta, env: senv, repl: repl}
+	replEP := d.newEndpoint(netsim.Address("repl-" + name))
+	repl := replica.New(replEP, d.clock, senv.Space())
+	site := &Site{Name: name, Domain: domain, dep: d, mta: mta, env: senv, repl: repl, replEP: replEP}
 	for _, other := range d.sites {
 		mta.AddRoute(other.Domain, other.mta.Addr())
 		other.mta.AddRoute(domain, mta.Addr())
@@ -297,6 +360,90 @@ func (s *Site) Replicator() *replica.Replicator { return s.repl }
 
 // SyncNow kicks an immediate anti-entropy round for this site.
 func (s *Site) SyncNow() { s.repl.SyncNow() }
+
+// Crash kills the site mid-run: its network nodes go down (in-flight
+// frames to them are lost, peers' sync rounds start failing) and its
+// information backend is released. The in-memory replica state is gone
+// the moment Restart swaps it out — what survives is whatever the
+// backend put on disk, which for the durable logstore is every completed
+// write.
+func (s *Site) Crash() {
+	if s.crashed {
+		return
+	}
+	d := s.dep
+	if node, ok := d.net.Node(s.replAddr()); ok {
+		node.SetDown(true)
+	}
+	if node, ok := d.net.Node(s.mta.Addr()); ok {
+		node.SetDown(true)
+	}
+	// Close the replication endpoint: pending calls cancel now and any
+	// stale auto-sync round the dead replicator still fires completes
+	// immediately instead of dribbling timeouts after the restart.
+	s.replEP.Close()
+	if b, ok := d.backends[s.Name]; ok {
+		// Closing drops the file handle; every append already reached the
+		// OS before its write returned, so this models a kill at the last
+		// completed mutation, not a graceful flush.
+		if c, ok := b.(io.Closer); ok {
+			_ = c.Close()
+		}
+		delete(d.backends, s.Name)
+	}
+	s.crashed = true
+}
+
+// Restart brings a crashed site back: the information replica is rebuilt
+// over a freshly opened backend (for a durable store that means WAL +
+// snapshot recovery), a new replicator takes over the site's replication
+// address, and the nodes come back up — which kicks an immediate
+// anti-entropy round, so the recovered replica pulls exactly the writes
+// it missed while down instead of re-replicating from scratch.
+func (s *Site) Restart() error {
+	if !s.crashed {
+		// Restarting a live site would open a second backend over the same
+		// directory while the first still holds it.
+		return fmt.Errorf("mocca: restart of running site %q (call Crash first)", s.Name)
+	}
+	d := s.dep
+	var backend information.Backend
+	if d.backendFor != nil {
+		b, err := d.backendFor(s.Name)
+		if err != nil {
+			return fmt.Errorf("mocca: restart site %q: %w", s.Name, err)
+		}
+		backend = b
+		d.backends[s.Name] = b
+	}
+	s.env = d.env.ResetSiteSpace(s.Name, backend)
+	// Fresh endpoint and replicator over the same address; the old
+	// replicator's endpoint was closed by Crash, so any round it still
+	// fires fails instantly and it goes dormant under its failure cap.
+	s.replEP = d.endpointAt(s.replAddr())
+	s.repl = replica.New(s.replEP, d.clock, s.env.Space())
+	for _, other := range d.sites {
+		if other == s {
+			continue
+		}
+		s.repl.AddPeer(other.repl.Addr())
+		other.repl.AddPeer(s.repl.Addr())
+	}
+	s.repl.AutoSync(d.syncEvery)
+	if node, ok := d.net.Node(s.mta.Addr()); ok {
+		node.SetDown(false)
+	}
+	if node, ok := d.net.Node(s.replAddr()); ok {
+		// Recovery of a repl-* node fires the deployment's OnRecover hook,
+		// which kicks a full-mesh sync round.
+		node.SetDown(false)
+	}
+	s.crashed = false
+	return nil
+}
+
+// replAddr is the site's replication endpoint address.
+func (s *Site) replAddr() netsim.Address { return netsim.Address("repl-" + s.Name) }
 
 // JoinConference creates a session for a member at their own node and
 // joins it, driving the simulated clock until the join completes.
