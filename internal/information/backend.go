@@ -31,6 +31,12 @@ type Backend interface {
 	Exec(id string, fn func(cur *Object) (*Object, error)) (*Object, error)
 	// Snapshot returns copies of every row matching pred (nil pred = all).
 	Snapshot(pred func(*Object) bool) []*Object
+	// Remove deletes the row for id, together with relationship edges
+	// touching it (a dangling edge would poison a later snapshot replay),
+	// returning a copy of the removed row. A missing id is not an error:
+	// (nil, nil). This is the placement-migration eviction primitive — a
+	// replica dropping rows of a space it is no longer placed in.
+	Remove(id string) (*Object, error)
 	// Digest summarises every row's version vector for anti-entropy
 	// exchange.
 	Digest() map[string]vclock.Version

@@ -2,6 +2,7 @@ package logstore
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"mocca/internal/information"
@@ -19,32 +20,68 @@ func benchObject(id string, i int, vv vclock.Version) *information.Object {
 }
 
 // BenchmarkLogstoreAppend measures WAL append throughput: one Exec
-// storing a full row per iteration.
+// storing a full row per iteration. The serial cases measure the inline
+// path; the parallel cases run concurrent writers with and without group
+// commit — under fsync, group commit coalesces the writers of a window
+// into one sync (the fsyncs/op metric shows the collapse).
 func BenchmarkLogstoreAppend(b *testing.B) {
-	for _, mode := range []struct {
-		name  string
-		fsync bool
-	}{{"nosync", false}, {"fsync", true}} {
-		b.Run(mode.name, func(b *testing.B) {
-			st, err := Open(b.TempDir(), WithFsync(mode.fsync), WithCompactEvery(0))
+	type mode struct {
+		name     string
+		fsync    bool
+		group    bool
+		parallel bool
+	}
+	modes := []mode{
+		{name: "nosync", fsync: false},
+		{name: "fsync", fsync: true},
+		{name: "fsync-parallel", fsync: true, parallel: true},
+		{name: "fsync-parallel-group", fsync: true, group: true, parallel: true},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			st, err := Open(b.TempDir(), WithFsync(m.fsync), WithGroupCommit(m.group), WithCompactEvery(0))
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer st.Close()
-			vv := vclock.Version{}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				vv = vv.Tick("gmd")
-				obj := benchObject("obj-hot", i, vv.Clone())
+			write := func(id string, i int, vv vclock.Version) {
+				obj := benchObject(id, i, vv)
 				if _, err := st.Exec(obj.ID, func(*information.Object) (*information.Object, error) {
 					return obj, nil
 				}); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.ResetTimer()
+			if m.parallel {
+				// Force a writer pool even on small CPU counts: group commit
+				// batches whatever piles up behind the in-flight fsync, which
+				// needs more than GOMAXPROCS=1 goroutines to happen at all.
+				b.SetParallelism(8)
+				var writer atomic.Int64
+				b.RunParallel(func(pb *testing.PB) {
+					id := fmt.Sprintf("obj-w%02d", writer.Add(1))
+					vv := vclock.Version{}
+					i := 0
+					for pb.Next() {
+						vv = vv.Tick("gmd")
+						write(id, i, vv.Clone())
+						i++
+					}
+				})
+			} else {
+				vv := vclock.Version{}
+				for i := 0; i < b.N; i++ {
+					vv = vv.Tick("gmd")
+					write("obj-hot", i, vv.Clone())
+				}
+			}
 			b.StopTimer()
 			s := st.Stats()
 			b.SetBytes(s.AppendedBytes / s.Appends)
+			if m.fsync {
+				b.ReportMetric(float64(s.Fsyncs)/float64(b.N), "fsyncs/op")
+			}
 		})
 	}
 }

@@ -18,6 +18,7 @@ const (
 	recExec       byte = 1 // full post-state of one Exec mutation
 	recRelate     byte = 2 // one relationship edge
 	recSnapHeader byte = 3 // snapshot file header
+	recRemove     byte = 4 // eviction of one row (placement migration)
 )
 
 // ErrCorrupt reports a record whose framing was intact but whose payload
@@ -134,6 +135,7 @@ type walRecord struct {
 	seq uint64
 	obj *information.Object  // recExec
 	rel information.Relation // recRelate
+	id  string               // recRemove
 }
 
 // appendWALPayload encodes a WAL record payload (unframed).
@@ -161,6 +163,10 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 	case recRelate:
 		if rec.rel, _, err = decodeRelation(payload); err != nil {
 			return rec, fmt.Errorf("%w: relation: %v", ErrCorrupt, err)
+		}
+	case recRemove:
+		if rec.id, _, err = wire.ConsumeString(payload); err != nil {
+			return rec, fmt.Errorf("%w: remove: %v", ErrCorrupt, err)
 		}
 	default:
 		return rec, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, rec.typ)

@@ -29,6 +29,7 @@
 package logstore
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -69,6 +70,14 @@ type Stats struct {
 	Compactions        int64 // snapshot-and-truncate cycles run
 	CompactionFailures int64 // failed automatic compactions (write stays durable in the WAL)
 
+	// Group-commit counters: Flushes is how many write(+fsync) windows
+	// drained the batch buffer, FlushedRecords how many records they
+	// covered — FlushedRecords/Flushes is the realised batching factor.
+	// Fsyncs counts every WAL fsync in either mode.
+	Flushes        int64
+	FlushedRecords int64
+	Fsyncs         int64
+
 	RecoveredObjects   int   // rows loaded by Open (snapshot + replay)
 	RecoveredRelations int   // edges loaded by Open
 	ReplayedRecords    int   // WAL records applied by Open
@@ -93,6 +102,23 @@ func WithCompactEvery(n int) Option {
 	return func(s *Store) { s.compactEvery = n }
 }
 
+// WithGroupCommit batches concurrent WAL appends into one write-and-fsync
+// window: each mutation commits in memory and enqueues its framed record
+// under the store mutex, then waits OUTSIDE it for a group flush to make
+// the record durable — the first waiter drains the whole queue with a
+// single write (and, under WithFsync, a single fsync), so N concurrent
+// writers cost one sync instead of N.
+//
+// The trade against the default (append-then-commit under one mutex) is
+// the failure mode: a batch that cannot be written leaves memory ahead of
+// disk for the writers already committed, so the store turns read-only
+// (ErrReadOnly) instead of rolling back. No acknowledged write is ever
+// lost in either mode — waiters only return success once their record is
+// durable (or covered by a snapshot).
+func WithGroupCommit(on bool) Option {
+	return func(s *Store) { s.group = on }
+}
+
 // Store is the disk-backed information.Backend. Reads are served from the
 // embedded in-memory store; mutations commit in memory and append to the
 // WAL before returning.
@@ -100,11 +126,12 @@ type Store struct {
 	mem          *information.Store
 	dir          string
 	fsync        bool
+	group        bool
 	compactEvery int
 
 	mu        sync.Mutex // orders mutations; WAL order == commit order
 	wal       *os.File
-	walSize   int64  // bytes of intact records on disk
+	walSize   int64  // bytes of intact records on disk (inline mode)
 	seq       uint64 // last assigned record sequence number
 	snapSeq   uint64 // sequence covered by the snapshot on disk
 	sinceSnap int    // records appended since the last snapshot
@@ -113,6 +140,32 @@ type Store struct {
 	payload   []byte // scratch: record payload
 	frame     []byte // scratch: framed record
 	stats     Stats
+
+	// Group-commit state. Lock order: s.mu before g.mu; the flusher holds
+	// neither while writing (it owns the file through g.flushing). In
+	// group mode the WAL file and durability watermark are governed here,
+	// not by s.walSize.
+	g groupState
+}
+
+// groupState is the group-commit machinery: the batch buffer, the
+// durability watermark and the flush-leader latch. Everything in it is
+// guarded by its own mutex so the flusher and the waiters never need
+// s.mu.
+type groupState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte // framed records enqueued, not yet written
+	bufRecs  int    // records in buf
+	hiEnq    uint64 // highest seq enqueued
+	hiDur    uint64 // highest seq durable (written + fsynced/covered)
+	durSize  int64  // bytes of wal.log that are durable
+	flushing bool   // a leader is writing the current batch
+	err      error  // sticky batch failure; mutations are disabled
+
+	flushes        int64
+	flushedRecords int64
+	fsyncs         int64
 }
 
 // Store implements information.Backend.
@@ -150,6 +203,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
 	s.wal = wal
+	s.g.cond = sync.NewCond(&s.g.mu)
+	s.g.hiEnq, s.g.hiDur = s.seq, s.seq
+	s.g.durSize = s.walSize
 	s.stats.RecoveredObjects = s.mem.Len()
 	s.stats.RecoveredRelations = len(s.mem.Relations())
 	return s, nil
@@ -158,15 +214,22 @@ func Open(dir string, opts ...Option) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, folding in the group-commit
+// flush counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	out := s.stats
+	s.g.mu.Lock()
+	out.Flushes += s.g.flushes
+	out.FlushedRecords += s.g.flushedRecords
+	out.Fsyncs += s.g.fsyncs
+	s.g.mu.Unlock()
+	return out
 }
 
-// Close flushes and closes the WAL. Reads keep working from memory;
-// further mutations fail with ErrClosed.
+// Close flushes (draining any group-commit batch) and closes the WAL.
+// Reads keep working from memory; further mutations fail with ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,6 +237,12 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.group {
+		if err := s.drainGroupLocked(); err != nil {
+			s.wal.Close()
+			return fmt.Errorf("logstore: close: %w", err)
+		}
+	}
 	if s.fsync {
 		if err := s.wal.Sync(); err != nil {
 			return fmt.Errorf("logstore: %w", err)
@@ -304,6 +373,12 @@ func (s *Store) replayWAL() error {
 					good = len(data) - len(next)
 					continue
 				}
+			case recRemove:
+				// Removing an absent row is a no-op, which makes replay
+				// idempotent over snapshot-covered evictions.
+				if _, err := s.mem.Remove(rec.id); err != nil {
+					return fmt.Errorf("logstore: replay seq %d: %w", rec.seq, err)
+				}
 			}
 			s.stats.ReplayedRecords++
 		}
@@ -323,20 +398,59 @@ func (s *Store) replayWAL() error {
 // --- mutations ------------------------------------------------------------
 
 // Exec runs fn against the live row under the backend's write exclusion.
-// If fn stores a row, its full post-state is appended to the WAL before
-// the in-memory commit — a write that cannot be made durable (append
+// If fn stores a row, its full post-state is made durable before Exec
+// returns success. In the default (inline) mode the WAL append precedes
+// the in-memory commit, so a write that cannot be made durable (append
 // failure, or a row the codec cannot round-trip) fails without changing
-// any state, in memory or on disk.
+// any state, in memory or on disk. In group-commit mode the record is
+// enqueued (and memory committed) under the mutex, and Exec then waits
+// outside it for the group flush — see WithGroupCommit for the batching
+// and failure semantics.
 func (s *Store) Exec(id string, fn func(cur *information.Object) (*information.Object, error)) (*information.Object, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	obj, waitSeq, err := s.execLocked(id, fn)
+	if err != nil || obj == nil {
+		return obj, err
+	}
+	if waitSeq > 0 {
+		if werr := s.waitDurable(waitSeq); werr != nil {
+			return nil, werr
+		}
+	}
+	return obj, nil
+}
+
+// writableLocked reports whether mutations are admitted. Caller holds
+// s.mu. The inline path records failure in s.broken; a failed group
+// batch records it in g.err.
+func (s *Store) writableLocked() error {
 	if s.closed {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if s.broken {
-		return nil, ErrReadOnly
+		return ErrReadOnly
+	}
+	if s.group {
+		s.g.mu.Lock()
+		err := s.g.err
+		s.g.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execLocked is Exec's under-mutex half; the durability wait happens
+// outside the mutex so group-commit batches can form. waitSeq is
+// non-zero when a group-mode caller must wait for that sequence.
+func (s *Store) execLocked(id string, fn func(cur *information.Object) (*information.Object, error)) (*information.Object, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return nil, 0, err
 	}
 	logged := false
+	var waitSeq uint64
 	obj, err := s.mem.Exec(id, func(cur *information.Object) (*information.Object, error) {
 		// fn gets a clone, not the live row: engine mutation paths edit
 		// their argument in place, and a mutation that fails validation or
@@ -354,45 +468,70 @@ func (s *Store) Exec(id string, fn func(cur *information.Object) (*information.O
 		s.seq++
 		s.payload = appendWALPayload(s.payload[:0], recExec, s.seq)
 		s.payload = appendObject(s.payload, next)
-		if err := s.appendLocked(); err != nil {
+		if s.group {
+			if err := s.enqueueLocked(); err != nil {
+				return nil, err
+			}
+			waitSeq = s.seq
+		} else if err := s.appendLocked(); err != nil {
 			return nil, err
 		}
 		logged = true
 		return next, nil
 	})
-	if err != nil || obj == nil {
-		return obj, err
-	}
-	if logged {
+	if err == nil && obj != nil && logged {
 		s.compactIfDueLocked()
 	}
-	return obj, nil
+	return obj, waitSeq, err
 }
 
-// Relate records a typed relationship, logging the edge before the
-// in-memory commit. A deterministic rejection by the graph (unknown
+// Relate records a typed relationship. Inline mode logs the edge before
+// the in-memory commit; a deterministic rejection by the graph (unknown
 // endpoint, cycle) rolls the just-appended record back off the log.
+// Group mode validates through the in-memory commit FIRST — a rejected
+// edge then never reaches the log, which matters because a batched
+// record cannot be truncated back out.
 func (s *Store) Relate(from string, kind information.RelKind, to string) error {
+	waitSeq, err := s.relateLocked(from, kind, to)
+	if err != nil || waitSeq == 0 {
+		return err
+	}
+	return s.waitDurable(waitSeq)
+}
+
+// relateLocked is Relate's under-mutex half; see execLocked.
+func (s *Store) relateLocked(from string, kind information.RelKind, to string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if s.broken {
-		return ErrReadOnly
+	if err := s.writableLocked(); err != nil {
+		return 0, err
 	}
 	rel := information.Relation{From: from, Kind: kind, To: to}
 	for _, str := range []string{from, string(kind), to} {
 		if len(str) >= wire.MaxStringLen {
-			return fmt.Errorf("logstore: relation endpoint %d bytes: %w", len(str), wire.ErrOversize)
+			return 0, fmt.Errorf("logstore: relation endpoint %d bytes: %w", len(str), wire.ErrOversize)
 		}
+	}
+	if s.group {
+		if err := s.mem.Relate(from, kind, to); err != nil {
+			return 0, err
+		}
+		s.seq++
+		s.payload = appendWALPayload(s.payload[:0], recRelate, s.seq)
+		s.payload = appendRelation(s.payload, rel)
+		if err := s.enqueueLocked(); err != nil {
+			return 0, err
+		}
+		seq := s.seq
+		s.compactIfDueLocked()
+		return seq, nil
 	}
 	preSize, preSince := s.walSize, s.sinceSnap
 	s.seq++
 	s.payload = appendWALPayload(s.payload[:0], recRelate, s.seq)
 	s.payload = appendRelation(s.payload, rel)
 	if err := s.appendLocked(); err != nil {
-		return err
+		return 0, err
 	}
 	if err := s.mem.Relate(from, kind, to); err != nil {
 		// The graph rejected the edge after it hit the log: truncate the
@@ -404,10 +543,65 @@ func (s *Store) Relate(from string, kind information.RelKind, to string) error {
 			s.stats.AppendedBytes -= s.walSize - preSize
 			s.walSize, s.sinceSnap = preSize, preSince
 		}
-		return err
+		return 0, err
 	}
 	s.compactIfDueLocked()
-	return nil
+	return 0, nil
+}
+
+// Remove deletes the row for id (and edges touching it), logging the
+// eviction so recovery replays it — the placement-migration path on a
+// durable replica. A missing id is a no-op and logs nothing.
+func (s *Store) Remove(id string) (*information.Object, error) {
+	removed, waitSeq, err := s.removeLocked(id)
+	if err != nil || waitSeq == 0 {
+		return removed, err
+	}
+	if werr := s.waitDurable(waitSeq); werr != nil {
+		return nil, werr
+	}
+	return removed, nil
+}
+
+// removeLocked is Remove's under-mutex half; see execLocked.
+func (s *Store) removeLocked(id string) (*information.Object, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return nil, 0, err
+	}
+	if s.group {
+		removed, err := s.mem.Remove(id)
+		if err != nil || removed == nil {
+			return removed, 0, err
+		}
+		s.seq++
+		s.payload = appendWALPayload(s.payload[:0], recRemove, s.seq)
+		s.payload = wire.AppendString(s.payload, id)
+		if err := s.enqueueLocked(); err != nil {
+			return nil, 0, err
+		}
+		seq := s.seq
+		s.compactIfDueLocked()
+		return removed, seq, nil
+	}
+	// Inline: log the eviction before removing from memory; a failed
+	// append leaves the row in place, matching Exec's discipline. The
+	// existence check keeps no-op removes off the log without cloning.
+	if !s.mem.Has(id) {
+		return nil, 0, nil
+	}
+	s.seq++
+	s.payload = appendWALPayload(s.payload[:0], recRemove, s.seq)
+	s.payload = wire.AppendString(s.payload, id)
+	if err := s.appendLocked(); err != nil {
+		return nil, 0, err
+	}
+	removed, err := s.mem.Remove(id)
+	if err == nil && removed != nil {
+		s.compactIfDueLocked()
+	}
+	return removed, 0, err
 }
 
 // appendLocked frames s.payload and writes it to the WAL. On a write
@@ -441,12 +635,145 @@ func (s *Store) appendLocked() error {
 			}
 			return fmt.Errorf("logstore: append: %w", err)
 		}
+		s.stats.Fsyncs++
 	}
 	s.walSize += int64(len(frame))
 	s.sinceSnap++
 	s.stats.Appends++
 	s.stats.AppendedBytes += int64(len(frame))
 	return nil
+}
+
+// --- group commit ----------------------------------------------------------
+
+// enqueueLocked frames s.payload into the group buffer. Caller holds
+// s.mu; the memory commit that follows (under the same s.mu hold) keeps
+// WAL record order equal to commit order. The record becomes durable
+// when a flush covers its sequence — callers wait via waitDurable after
+// releasing s.mu.
+func (s *Store) enqueueLocked() error {
+	frame, err := wire.AppendRecord(s.frame[:0], s.payload)
+	if err != nil {
+		return err
+	}
+	s.frame = frame
+	g := &s.g
+	g.mu.Lock()
+	if g.err != nil {
+		g.mu.Unlock()
+		return g.err
+	}
+	g.buf = append(g.buf, frame...)
+	g.bufRecs++
+	g.hiEnq = s.seq
+	g.mu.Unlock()
+	s.sinceSnap++
+	s.stats.Appends++
+	s.stats.AppendedBytes += int64(len(frame))
+	return nil
+}
+
+// waitDurable blocks until seq is durable: covered by a completed flush
+// or by a snapshot. The first waiter that finds no flush in flight
+// becomes the leader and drains the whole queue with one write (and one
+// fsync, if enabled) — that window is the group commit.
+func (s *Store) waitDurable(seq uint64) error {
+	g := &s.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.err != nil {
+			return g.err
+		}
+		if g.hiDur >= seq {
+			return nil
+		}
+		if !g.flushing {
+			s.flushLeaderLocked()
+			continue
+		}
+		g.cond.Wait()
+	}
+}
+
+// flushLeaderLocked drains the group buffer as the flush leader. Caller
+// holds g.mu with g.flushing false; on return g.mu is held again, the
+// batch outcome is recorded and waiters have been broadcast.
+func (s *Store) flushLeaderLocked() {
+	g := &s.g
+	g.flushing = true
+	batch := g.buf
+	recs := g.bufRecs
+	hi := g.hiEnq
+	durSize := g.durSize
+	g.buf = nil
+	g.bufRecs = 0
+	g.mu.Unlock()
+
+	var err error
+	var fsynced bool
+	if len(batch) > 0 {
+		if _, werr := s.wal.Write(batch); werr != nil {
+			// Roll the torn batch back out so recovery sees a clean log; if
+			// even that fails the bytes stay, but g.err below disables
+			// mutations either way.
+			_ = os.Truncate(filepath.Join(s.dir, walName), durSize)
+			err = fmt.Errorf("logstore: group append: %w (%v)", ErrReadOnly, werr)
+		} else if s.fsync {
+			if serr := s.wal.Sync(); serr != nil {
+				_ = os.Truncate(filepath.Join(s.dir, walName), durSize)
+				err = fmt.Errorf("logstore: group fsync: %w (%v)", ErrReadOnly, serr)
+			} else {
+				fsynced = true
+			}
+		}
+	}
+
+	g.mu.Lock()
+	g.flushing = false
+	if err != nil {
+		// Writers in this batch (and any batch after it) already committed
+		// to memory; the disk cannot follow, so the store goes read-only.
+		g.err = err
+	} else if len(batch) > 0 {
+		g.durSize += int64(len(batch))
+		if hi > g.hiDur {
+			g.hiDur = hi
+		}
+		g.stats(recs, fsynced)
+	}
+	g.cond.Broadcast()
+}
+
+// stats records one completed flush. Caller holds g.mu; the counters live
+// in gstats so the flusher never needs s.mu.
+func (g *groupState) stats(recs int, fsynced bool) {
+	g.flushes++
+	g.flushedRecords += int64(recs)
+	if fsynced {
+		g.fsyncs++
+	}
+}
+
+// drainGroupLocked flushes every enqueued record. Caller holds s.mu (so
+// no new records can be enqueued).
+func (s *Store) drainGroupLocked() error {
+	g := &s.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.err != nil {
+			return g.err
+		}
+		if !g.flushing && len(g.buf) == 0 {
+			return nil
+		}
+		if !g.flushing {
+			s.flushLeaderLocked()
+			continue
+		}
+		g.cond.Wait()
+	}
 }
 
 // validateDurable rejects rows the WAL codec cannot round-trip: a string
@@ -488,48 +815,69 @@ func (s *Store) Compact() error {
 	return s.compactLocked()
 }
 
-// compactLocked snapshots atomically: write snapshot.tmp, fsync, rename
-// over snapshot.snap, then truncate the WAL. A crash at any point leaves
-// a recoverable state — before the rename the old snapshot plus the full
-// WAL stands, after it the new snapshot's covered-sequence header makes
-// the not-yet-truncated WAL records no-ops on replay.
+// compactLocked snapshots atomically: stream snapshot.tmp row by row,
+// fsync, rename over snapshot.snap, then truncate the WAL. A crash at
+// any point leaves a recoverable state — before the rename the old
+// snapshot plus the full WAL stands, after it the new snapshot's
+// covered-sequence header makes the not-yet-truncated WAL records no-ops
+// on replay.
+//
+// Rows are encoded one at a time through the scratch buffers into a
+// buffered writer: the snapshot's memory cost is one row plus the write
+// buffer, independent of store size, instead of a second full copy of
+// every row.
 func (s *Store) compactLocked() error {
-	objs := s.mem.Snapshot(nil)
+	if s.group {
+		// Park the flusher and discard the pending batch: every enqueued
+		// record's mutation is already committed in memory, so the snapshot
+		// about to be written covers it — waiters become durable through
+		// the snapshot instead of the WAL.
+		s.g.mu.Lock()
+		for s.g.flushing {
+			s.g.cond.Wait()
+		}
+		defer func() {
+			s.g.cond.Broadcast()
+			s.g.mu.Unlock()
+		}()
+	}
+
 	rels := s.mem.Relations()
-
-	s.payload = append(s.payload[:0], recSnapHeader)
-	s.payload = wire.AppendUint64(s.payload, s.seq)
-	s.payload = wire.AppendUint64(s.payload, uint64(len(objs)))
-	s.payload = wire.AppendUint64(s.payload, uint64(len(rels)))
-	out, err := wire.AppendRecord(nil, s.payload)
-	if err != nil {
-		return err
-	}
-	for _, obj := range objs {
-		s.payload = appendObject(s.payload[:0], obj)
-		if out, err = wire.AppendRecord(out, s.payload); err != nil {
-			return err
-		}
-	}
-	for _, rel := range rels {
-		s.payload = appendRelation(s.payload[:0], rel)
-		if out, err = wire.AppendRecord(out, s.payload); err != nil {
-			return err
-		}
-	}
-
 	tmp := filepath.Join(s.dir, snapTmpName)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("logstore: snapshot: %w", err)
 	}
-	if _, err := f.Write(out); err != nil {
-		f.Close()
-		return fmt.Errorf("logstore: snapshot: %w", err)
+	w := bufio.NewWriterSize(f, 1<<16)
+
+	s.payload = append(s.payload[:0], recSnapHeader)
+	s.payload = wire.AppendUint64(s.payload, s.seq)
+	s.payload = wire.AppendUint64(s.payload, uint64(s.mem.Len()))
+	s.payload = wire.AppendUint64(s.payload, uint64(len(rels)))
+	werr := s.writeFrame(w)
+	if werr == nil {
+		s.mem.Range(func(obj *information.Object) bool {
+			s.payload = appendObject(s.payload[:0], obj)
+			werr = s.writeFrame(w)
+			return werr == nil
+		})
 	}
-	if err := f.Sync(); err != nil {
+	for _, rel := range rels {
+		if werr != nil {
+			break
+		}
+		s.payload = appendRelation(s.payload[:0], rel)
+		werr = s.writeFrame(w)
+	}
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if werr != nil {
 		f.Close()
-		return fmt.Errorf("logstore: snapshot: %w", err)
+		return fmt.Errorf("logstore: snapshot: %w", werr)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("logstore: snapshot: %w", err)
@@ -542,11 +890,29 @@ func (s *Store) compactLocked() error {
 	if err := os.Truncate(filepath.Join(s.dir, walName), 0); err != nil {
 		return fmt.Errorf("logstore: snapshot: %w", err)
 	}
+	if s.group {
+		s.g.buf = nil
+		s.g.bufRecs = 0
+		s.g.hiDur = s.seq
+		s.g.durSize = 0
+	}
 	s.walSize = 0
 	s.snapSeq = s.seq
 	s.sinceSnap = 0
 	s.stats.Compactions++
 	return nil
+}
+
+// writeFrame frames s.payload into the scratch frame buffer and writes it
+// to w.
+func (s *Store) writeFrame(w *bufio.Writer) error {
+	frame, err := wire.AppendRecord(s.frame[:0], s.payload)
+	if err != nil {
+		return err
+	}
+	s.frame = frame
+	_, err = w.Write(frame)
+	return err
 }
 
 // --- reads (served from the embedded memory store) ------------------------

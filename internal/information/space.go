@@ -77,8 +77,9 @@ type Conflict struct {
 
 // Event notifies subscribers of a change.
 type Event struct {
-	// Kind is "put", "update", "share", "relate" for local writes, and
-	// "apply" / "conflict" for state arriving from a peer replica.
+	// Kind is "put", "update", "share", "relate" for local writes,
+	// "apply" / "conflict" for state arriving from a peer replica, and
+	// "evict" for rows migrated off this replica by placement.
 	Kind   string
 	Object *Object
 	Actor  string
@@ -117,6 +118,9 @@ type SpaceStats struct {
 	// Applied and Conflicts count remote state merged in by replication.
 	Applied   int64
 	Conflicts int64
+	// Evictions counts rows dropped off this replica by placement
+	// migration (Drop).
+	Evictions int64
 }
 
 type subscription struct {
@@ -378,6 +382,40 @@ func (s *Space) Query(actor, schemaName string, filter map[string]string) ([]*Ob
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
+}
+
+// Drop evicts the row for id from THIS replica only — the placement
+// migration path: a site no longer placed for an object's space pushes
+// the row to a placed site and drops its local copy. It bypasses the ACL
+// (the caller is the replication layer, not a principal) and publishes an
+// "evict" event; other replicas are untouched. Returns the removed row,
+// or nil when the id was not stored.
+func (s *Space) Drop(id string) (*Object, error) {
+	removed, err := s.store.Remove(id)
+	if err != nil || removed == nil {
+		return nil, err
+	}
+	s.bump(func(st *SpaceStats) { st.Evictions++ })
+	s.notify(Event{Kind: "evict", Object: removed, Actor: "placement/" + s.site, At: s.clock.Now()})
+	return removed, nil
+}
+
+// DropCovered evicts the row only if its current state is covered by vv
+// — the version vector a migration push carried. A write that landed
+// after the push snapshot leaves the row in place (returning nil), so
+// eviction can never destroy state no other replica has seen; the next
+// migration pass picks the row up again. The check and the removal are
+// two store operations: mutations of one replica are serialised by the
+// simulation's event loop, so no writer can slip between them.
+func (s *Space) DropCovered(id string, vv vclock.Version) (*Object, error) {
+	cur, ok := s.store.Get(id)
+	if !ok {
+		return nil, nil
+	}
+	if !vv.Dominates(cur.VV) {
+		return nil, nil
+	}
+	return s.Drop(id)
 }
 
 // Subscribe registers fn for events on objects of the schema ("" = all).

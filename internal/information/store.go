@@ -88,6 +88,65 @@ func (st *Store) Snapshot(pred func(*Object) bool) []*Object {
 	return out
 }
 
+// Has reports whether a row for id is stored, without copying it.
+func (st *Store) Has(id string) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.objects[id]
+	return ok
+}
+
+// Remove deletes the row for id and every relationship edge touching it,
+// returning a copy of the removed row; (nil, nil) when absent. Edges are
+// stripped because a dangling edge would fail the endpoint check when a
+// durable snapshot of the graph is replayed.
+func (st *Store) Remove(id string) (*Object, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	obj, ok := st.objects[id]
+	if !ok {
+		return nil, nil
+	}
+	delete(st.objects, id)
+	delete(st.relations, id)
+	for from, kinds := range st.relations {
+		for kind, tos := range kinds {
+			kept := tos[:0]
+			for _, to := range tos {
+				if to != id {
+					kept = append(kept, to)
+				}
+			}
+			if len(kept) == 0 {
+				delete(kinds, kind)
+			} else {
+				kinds[kind] = kept
+			}
+		}
+		if len(kinds) == 0 {
+			delete(st.relations, from)
+		}
+	}
+	return obj.clone(), nil
+}
+
+// Range calls fn for every stored row under the store's read lock, in
+// unspecified order, stopping early when fn returns false. fn receives
+// the LIVE row — this is the streaming alternative to Snapshot for
+// callers (like a durable backend writing a snapshot file) that must not
+// materialise a copy of every row at once. fn must treat the row as
+// read-only, must not retain it past its return, and must not call back
+// into the store.
+func (st *Store) Range(fn func(*Object) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, obj := range st.objects {
+		if !fn(obj) {
+			return
+		}
+	}
+}
+
 // IDs returns all stored object ids, sorted.
 func (st *Store) IDs() []string {
 	st.mu.RLock()

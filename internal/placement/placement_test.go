@@ -1,0 +1,232 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mocca/internal/information"
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+	"mocca/internal/trader"
+	"mocca/internal/vclock"
+)
+
+func TestPolicyDefaultIsEverywhere(t *testing.T) {
+	p := NewPolicy()
+	d := Descriptor{ID: "x", Schema: "doc"}
+	pl := p.SitesFor(d)
+	if !pl.Everywhere || pl.Space != DefaultSpace || pl.Rule != "" {
+		t.Fatalf("default placement = %+v", pl)
+	}
+	for _, site := range []string{"gmd", "upc", "anything"} {
+		if !p.PlacedAt(site, d) {
+			t.Fatalf("default policy excluded %s", site)
+		}
+	}
+	if p.Selective() {
+		t.Fatal("empty policy reports selective")
+	}
+	st := p.Stats()
+	if st.Decisions == 0 || st.Defaulted == 0 || st.Matched != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPolicyFirstMatchWins(t *testing.T) {
+	p := NewPolicy()
+	p.Use(
+		BySchema("design-doc", "gmd", "upc"),
+		ByField("context", "act-1", "nott"),
+	)
+	if !p.Selective() {
+		t.Fatal("rule-bearing policy not selective")
+	}
+
+	// Schema rule claims the object even though the field rule would too.
+	d := Descriptor{Schema: "design-doc", Fields: map[string]string{"context": "act-1"}}
+	pl := p.SitesFor(d)
+	if pl.Rule != "schema:design-doc" || pl.Everywhere {
+		t.Fatalf("placement = %+v", pl)
+	}
+	if !pl.At("gmd") || !pl.At("upc") || pl.At("nott") {
+		t.Fatalf("sites = %v", pl.Sites)
+	}
+
+	// Field rule catches what the schema rule does not.
+	d2 := Descriptor{Schema: "note", Fields: map[string]string{"context": "act-1"}}
+	if pl2 := p.SitesFor(d2); pl2.Rule != "context:act-1" || !pl2.At("nott") || pl2.At("gmd") {
+		t.Fatalf("placement2 = %+v", pl2)
+	}
+
+	// Unmatched objects fall to everywhere.
+	if pl3 := p.SitesFor(Descriptor{Schema: "memo"}); !pl3.Everywhere {
+		t.Fatalf("placement3 = %+v", pl3)
+	}
+}
+
+func TestByActivityTracksMembershipDynamically(t *testing.T) {
+	members := []string{"upc"}
+	p := NewPolicy()
+	p.Use(ByActivity("act-7", "context", func(id string) []string {
+		if id != "act-7" {
+			t.Fatalf("lookup for %q", id)
+		}
+		return members
+	}))
+	d := Descriptor{Schema: "note", Fields: map[string]string{"context": "act-7"}}
+	if !p.PlacedAt("upc", d) || p.PlacedAt("gmd", d) {
+		t.Fatal("initial membership wrong")
+	}
+	members = []string{"gmd", "upc"} // a member joins from gmd: no rule change
+	if !p.PlacedAt("gmd", d) {
+		t.Fatal("membership change not reflected")
+	}
+}
+
+func TestPolicyVersioningAndSubscription(t *testing.T) {
+	p := NewPolicy()
+	fired := 0
+	p.Subscribe(func() { fired++ })
+	if p.Version() != 0 {
+		t.Fatalf("version = %d", p.Version())
+	}
+	p.Use(BySchema("doc", "gmd"))
+	p.Add(ByOrgUnit("gmd", "org", func(string) []string { return []string{"gmd"} }))
+	if p.Version() != 2 || fired != 2 {
+		t.Fatalf("version=%d fired=%d", p.Version(), fired)
+	}
+	if got := p.Rules(); len(got) != 2 || got[0] != "schema:doc" || got[1] != "org:gmd" {
+		t.Fatalf("rules = %v", got)
+	}
+	asg := p.Assignments()
+	if len(asg) != 2 || asg[0].Space != "schema:doc" || asg[1].Space != "org:gmd" {
+		t.Fatalf("assignments = %+v", asg)
+	}
+}
+
+// testSpace builds a one-site space with one shared object, returning the
+// space and the object.
+func testSpace(t *testing.T, clk vclock.Clock, site string) (*information.Space, *information.Object) {
+	t.Helper()
+	registry := information.NewSchemaRegistry()
+	if err := registry.Register(information.Schema{Name: "note", Fields: []information.Field{
+		{Name: "headline", Type: information.FieldText, Required: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	sp := information.NewSpace(registry, nil, clk, information.WithSite(site))
+	obj, err := sp.Put("ada", "note", map[string]string{"headline": "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp, obj
+}
+
+// TestReaderResolvesHolderThroughTrader runs a real read: a holder site
+// serves MethodRead, the trader carries its offer, and a reader on
+// another node resolves and reads through it.
+func TestReaderResolvesHolderThroughTrader(t *testing.T) {
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(1))
+	holderEP := rpc.NewEndpoint(net.MustAddNode("place-gmd"), clk)
+	readerEP := rpc.NewEndpoint(net.MustAddNode("place-upc"), clk)
+
+	space, obj := testSpace(t, clk, "gmd")
+	srv := NewReadServer(holderEP, "gmd", func() *information.Space { return space })
+
+	tr := trader.New()
+	if err := tr.RegisterType(ServiceType); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []trader.Offer{
+		{ID: OfferID("gmd", "schema:note"), ServiceType: ServiceType, Provider: "place-gmd",
+			Properties: map[string][]string{SpaceProp: {"schema:note"}, SiteProp: {"gmd"}}},
+		{ID: OfferID("upc", DefaultSpace), ServiceType: ServiceType, Provider: "place-upc",
+			Properties: map[string][]string{SpaceProp: {DefaultSpace}, SiteProp: {"upc"}}},
+	} {
+		if err := tr.Export(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reader := NewReader(readerEP, tr, "upc")
+	type result struct {
+		obj  *information.Object
+		site string
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		o, s, err := reader.Read("ada", obj.ID)
+		done <- result{o, s, err}
+	}()
+	var res result
+	for {
+		select {
+		case res = <-done:
+		default:
+			clk.Advance(10 * time.Millisecond)
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		break
+	}
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.site != "gmd" || res.obj.Fields["headline"] != "hello" || res.obj.ID != obj.ID {
+		t.Fatalf("read = %+v from %s", res.obj, res.site)
+	}
+	if s := srv.Stats(); s.Served != 1 {
+		t.Fatalf("server stats = %+v", s)
+	}
+	if s := reader.Stats(); s.Reads != 1 || s.Served != 1 {
+		t.Fatalf("reader stats = %+v", s)
+	}
+}
+
+// TestReaderNoHolder: every provider is down (or self) — the error wraps
+// ErrNoHolder with the failure detail.
+func TestReaderNoHolder(t *testing.T) {
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(1))
+	readerEP := rpc.NewEndpoint(net.MustAddNode("place-upc"), clk)
+	holder := net.MustAddNode("place-gmd") // node exists but serves nothing; take it down
+	holder.SetDown(true)
+
+	tr := trader.New()
+	if err := tr.RegisterType(ServiceType); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Export(trader.Offer{
+		ID: OfferID("gmd", "schema:note"), ServiceType: ServiceType, Provider: "place-gmd",
+		Properties: map[string][]string{SpaceProp: {"schema:note"}, SiteProp: {"gmd"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := NewReader(readerEP, tr, "upc", WithReadTimeout(50*time.Millisecond))
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := reader.Read("ada", "info-unknown")
+		errCh <- err
+	}()
+	var err error
+	for {
+		select {
+		case err = <-errCh:
+		default:
+			clk.Advance(10 * time.Millisecond)
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		break
+	}
+	if !errors.Is(err, ErrNoHolder) {
+		t.Fatalf("err = %v, want ErrNoHolder", err)
+	}
+	if s := reader.Stats(); s.NoHolder != 1 || s.Attempts != 1 {
+		t.Fatalf("reader stats = %+v", s)
+	}
+}

@@ -1,0 +1,191 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mocca/internal/information"
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+	"mocca/internal/trader"
+)
+
+// Trading vocabulary of the placement subsystem: every site exports one
+// offer per space it hosts, and a non-placed site imports the type to
+// resolve a holder for a remote read.
+const (
+	// ServiceType is the trader service type of placement offers.
+	ServiceType = "information-placement"
+	// SpaceProp / SiteProp are the offer properties naming the hosted
+	// space and the hosting site.
+	SpaceProp = "space"
+	SiteProp  = "site"
+	// MethodRead is the rpc method a holder serves remote reads on.
+	MethodRead = "placement.read"
+	// DefaultReadTimeout bounds each holder attempt so a dead holder
+	// degrades the read to the next offer instead of consuming the caller.
+	DefaultReadTimeout = 800 * time.Millisecond
+)
+
+// OfferID builds the deterministic trader offer id for a (site, space)
+// hosting claim.
+func OfferID(site, space string) string { return "placement/" + site + "/" + space }
+
+// ErrNoHolder reports a remote read that found no reachable replica
+// holding the object.
+var ErrNoHolder = errors.New("placement: no reachable holder")
+
+type readReq struct {
+	Actor    string `json:"actor"`
+	ObjectID string `json:"objectId"`
+}
+
+type readResp struct {
+	Site   string                 `json:"site"`
+	Object information.WireObject `json:"object"`
+}
+
+// ReadServerStats counts remote reads served by a holder.
+type ReadServerStats struct {
+	Served int64 // reads answered with an object
+	Missed int64 // reads refused (unknown object or access denied)
+}
+
+// ReadServer serves MethodRead for one site: remote readers resolve this
+// site through the trader and read objects out of its replica. Access
+// control is the space's own — the shared ACL system means a grant made
+// anywhere is effective here too.
+type ReadServer struct {
+	site  string
+	space func() *information.Space
+
+	mu    sync.Mutex
+	stats ReadServerStats
+}
+
+// NewReadServer registers the read handler on the endpoint. space is a
+// provider, not a pointer, because a crash/restart swaps the site's
+// replica: reads must always hit the current one.
+func NewReadServer(ep *rpc.Endpoint, site string, space func() *information.Space) *ReadServer {
+	s := &ReadServer{site: site, space: space}
+	ep.MustRegister(MethodRead, rpc.HandleJSON(func(_ netsim.Address, req readReq) (readResp, error) {
+		obj, err := s.space().Get(req.Actor, req.ObjectID)
+		if err != nil {
+			s.mu.Lock()
+			s.stats.Missed++
+			s.mu.Unlock()
+			return readResp{}, err
+		}
+		s.mu.Lock()
+		s.stats.Served++
+		s.mu.Unlock()
+		return readResp{Site: s.site, Object: information.ToWire(obj)}, nil
+	}))
+	return s
+}
+
+// Stats returns a snapshot of the counters.
+func (s *ReadServer) Stats() ReadServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ReaderStats counts remote reads issued by a non-placed site.
+type ReaderStats struct {
+	Reads    int64 // read-throughs attempted
+	Served   int64 // read-throughs satisfied by some holder
+	Attempts int64 // per-holder rpc attempts (retries across offers)
+	NoHolder int64 // read-throughs that exhausted every offer
+}
+
+// ReaderOption configures a Reader.
+type ReaderOption func(*Reader)
+
+// WithReadTimeout bounds each holder attempt.
+func WithReadTimeout(d time.Duration) ReaderOption {
+	return func(r *Reader) { r.timeout = d }
+}
+
+// Reader performs trader-mediated remote reads for one site: it imports
+// the placement offers, skips its own, and interrogates holders in
+// deterministic offer order until one serves the object. This is the
+// engineering half of location transparency — with the transparency
+// selected, SiteEnv.Get makes a non-placed site look like it holds
+// everything; deselecting it surfaces which holder actually served.
+type Reader struct {
+	ep      *rpc.Endpoint
+	trading *trader.Trader
+	site    string
+	timeout time.Duration
+
+	mu    sync.Mutex
+	stats ReaderStats
+}
+
+// NewReader builds a reader resolving holders through the given trader.
+func NewReader(ep *rpc.Endpoint, trading *trader.Trader, site string, opts ...ReaderOption) *Reader {
+	r := &Reader{ep: ep, trading: trading, site: site, timeout: DefaultReadTimeout}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Reader) Stats() ReaderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Read resolves the object through the trader and reads it from the
+// first holder that answers, returning the object and the serving site.
+// Holders are tried in offer-id order (deterministic); a holder that is
+// down or does not have the object degrades the read to the next offer.
+// When every offer is exhausted the error wraps ErrNoHolder and carries
+// the last holder failure — the useful message for "the sole holder is
+// down".
+func (r *Reader) Read(actor, objID string) (*information.Object, string, error) {
+	r.bump(func(s *ReaderStats) { s.Reads++ })
+	offers, err := r.trading.Import(trader.ImportRequest{ServiceType: ServiceType, Importer: actor})
+	if err != nil {
+		return nil, "", fmt.Errorf("placement: resolve %q: %w", objID, err)
+	}
+	// One attempt per provider: several hosted spaces share a read
+	// endpoint, and the reader cannot map an unknown id to a space.
+	tried := make(map[netsim.Address]bool, len(offers))
+	var lastErr error
+	attempts := 0
+	for _, o := range offers {
+		if o.Properties.First(SiteProp) == r.site || tried[o.Provider] {
+			continue
+		}
+		tried[o.Provider] = true
+		attempts++
+		r.bump(func(s *ReaderStats) { s.Attempts++ })
+		var resp readResp
+		if err := r.ep.CallJSON(o.Provider, MethodRead, readReq{Actor: actor, ObjectID: objID}, &resp,
+			rpc.CallTimeout(r.timeout)); err != nil {
+			lastErr = err
+			continue
+		}
+		r.bump(func(s *ReaderStats) { s.Served++ })
+		return information.FromWire(resp.Object), resp.Site, nil
+	}
+	r.bump(func(s *ReaderStats) { s.NoHolder++ })
+	if lastErr != nil {
+		return nil, "", fmt.Errorf("%w for object %q (site %s tried %d holders, last error: %v)",
+			ErrNoHolder, objID, r.site, attempts, lastErr)
+	}
+	return nil, "", fmt.Errorf("%w for object %q (site %s found %d placement offers)",
+		ErrNoHolder, objID, r.site, len(offers))
+}
+
+func (r *Reader) bump(fn func(*ReaderStats)) {
+	r.mu.Lock()
+	fn(&r.stats)
+	r.mu.Unlock()
+}

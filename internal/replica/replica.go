@@ -31,6 +31,7 @@ import (
 
 	"mocca/internal/information"
 	"mocca/internal/netsim"
+	"mocca/internal/placement"
 	"mocca/internal/rpc"
 	"mocca/internal/vclock"
 )
@@ -58,45 +59,12 @@ const (
 	DefaultFailureCap = 8
 )
 
-// wireObject is the JSON form of an information.Object on the sync wire.
-// The replica-local Version is not carried: it is recomputed as VV.Sum().
-type wireObject struct {
-	ID      string            `json:"id"`
-	Schema  string            `json:"schema"`
-	Owner   string            `json:"owner"`
-	Site    string            `json:"site"`
-	Fields  map[string]string `json:"fields,omitempty"`
-	VV      vclock.Version    `json:"vv"`
-	Created int64             `json:"created"`
-	Updated int64             `json:"updated"`
-}
+// wireObject is the JSON form of an information.Object on the sync wire
+// (shared with the placement remote-read protocol).
+type wireObject = information.WireObject
 
-func toWire(o *information.Object) wireObject {
-	return wireObject{
-		ID:      o.ID,
-		Schema:  o.Schema,
-		Owner:   o.Owner,
-		Site:    o.Site,
-		Fields:  o.Fields,
-		VV:      o.VV,
-		Created: o.Created.UnixNano(),
-		Updated: o.Updated.UnixNano(),
-	}
-}
-
-func fromWire(w wireObject) *information.Object {
-	return &information.Object{
-		ID:      w.ID,
-		Schema:  w.Schema,
-		Owner:   w.Owner,
-		Site:    w.Site,
-		Fields:  w.Fields,
-		Version: w.VV.Sum(),
-		VV:      w.VV,
-		Created: time.Unix(0, w.Created).UTC(),
-		Updated: time.Unix(0, w.Updated).UTC(),
-	}
-}
+func toWire(o *information.Object) wireObject   { return information.ToWire(o) }
+func fromWire(w wireObject) *information.Object { return information.FromWire(w) }
 
 type syncReq struct {
 	Site   string                    `json:"site"`
@@ -104,21 +72,44 @@ type syncReq struct {
 }
 
 type syncResp struct {
+	// Site names the responding replica, so the caller can filter its
+	// push half by the responder's placement interest set.
+	Site   string                    `json:"site"`
 	Digest map[string]vclock.Version `json:"digest"`
 	Deltas []wireObject              `json:"deltas,omitempty"`
+}
+
+// wireRelation is one relationship edge on the wire. Migration pushes
+// carry the edges touching the migrated rows, so a de-placed replica's
+// share of the relationship graph moves with its rows.
+type wireRelation struct {
+	From string `json:"from"`
+	Kind string `json:"kind"`
+	To   string `json:"to"`
 }
 
 type pushReq struct {
 	Site    string       `json:"site"`
 	Objects []wireObject `json:"objects"`
+	// Relations rides along on migration pushes only; ordinary sync
+	// pushes leave it empty.
+	Relations []wireRelation `json:"relations,omitempty"`
 }
 
 type pushResp struct {
 	Applied   int `json:"applied"`
 	Conflicts int `json:"conflicts"`
+	// Refused lists object ids the receiver did not accept (not placed
+	// there, or the apply failed). A migrating pusher must keep its copy
+	// of these rows.
+	Refused []string `json:"refused,omitempty"`
 }
 
-// Stats counts a replicator's activity.
+// Stats counts a replicator's activity. The digest/delta counters make
+// the cost of every round — and the savings of partial replication —
+// observable without packet inspection: FilteredDeltas/FilteredPushes
+// count objects placement withheld from peers, RefusedApplies counts
+// objects peers offered that this site is not placed for.
 type Stats struct {
 	Rounds        int64 // anti-entropy rounds initiated
 	PeerSyncs     int64 // successful peer exchanges
@@ -128,6 +119,20 @@ type Stats struct {
 	Conflicts     int64 // concurrent updates this replica resolved
 	ServedDigests int64 // replica.sync requests served
 	ServedApplied int64 // objects applied on behalf of pushing peers
+
+	DigestEntriesSent int64 // digest entries shipped in sync requests
+	DeltasServed      int64 // objects shipped in sync responses
+	FilteredDeltas    int64 // delta objects withheld from peers by placement
+	FilteredPushes    int64 // push objects withheld from peers by placement
+	RefusedApplies    int64 // offered objects this site is not placed for
+	Migrated          int64 // rows pushed off this replica by migration
+	Evicted           int64 // rows dropped locally after migration
+
+	// Per-round observability: the last completed round's digest size and
+	// data movement (sum over its peer exchanges).
+	LastRoundDigestEntries int
+	LastRoundDeltas        int
+	LastRoundPushed        int
 }
 
 // Option configures a Replicator.
@@ -144,6 +149,22 @@ func WithFailureCap(n int) Option {
 	return func(r *Replicator) { r.failureCap = n }
 }
 
+// WithPlacement installs the placement policy that scopes this replica's
+// sync traffic: deltas and pushes toward a peer are filtered to the
+// objects the peer's site is placed for, and applies of objects this
+// site is not placed for are refused. A nil policy (the default) means
+// full replication.
+func WithPlacement(p *placement.Policy) Option {
+	return func(r *Replicator) { r.policy = p }
+}
+
+// peer is one sync partner: its address plus (when known) its site name,
+// which is what placement filters the push half by.
+type peer struct {
+	addr netsim.Address
+	site string
+}
+
 // Replicator binds one Space replica to the network: it serves the
 // anti-entropy protocol for peers and initiates its own sync rounds
 // against the configured peer set.
@@ -153,9 +174,10 @@ type Replicator struct {
 	space   *information.Space
 	site    string
 	timeout time.Duration
+	policy  *placement.Policy
 
 	mu             sync.Mutex
-	peers          []netsim.Address
+	peers          []peer
 	interval       time.Duration
 	failureCap     int
 	auto           bool
@@ -203,25 +225,50 @@ func (r *Replicator) Stats() Stats {
 	return r.stats
 }
 
-// AddPeer adds a peer replicator's address to the sync set.
-func (r *Replicator) AddPeer(addr netsim.Address) {
+// AddPeer adds a peer replicator's address to the sync set with no site
+// name: placement cannot scope the push half toward it (everything is
+// offered), and its digest requests arrive with its own site name anyway.
+// Prefer AddPeerNamed where the site is known.
+func (r *Replicator) AddPeer(addr netsim.Address) { r.AddPeerNamed("", addr) }
+
+// AddPeerNamed adds a peer replicator with its site name, enabling
+// placement-scoped pushes and targeted migration toward it.
+func (r *Replicator) AddPeerNamed(site string, addr netsim.Address) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, p := range r.peers {
-		if p == addr {
+	for i, p := range r.peers {
+		if p.addr == addr {
+			if p.site == "" && site != "" {
+				r.peers[i].site = site
+			}
 			return
 		}
 	}
-	r.peers = append(r.peers, addr)
+	r.peers = append(r.peers, peer{addr: addr, site: site})
 }
 
-// Peers returns the peer set, sorted.
+// Peers returns the peer addresses, sorted.
 func (r *Replicator) Peers() []netsim.Address {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := append([]netsim.Address(nil), r.peers...)
+	out := make([]netsim.Address, len(r.peers))
+	for i, p := range r.peers {
+		out[i] = p.addr
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// placedAt reports whether placement allows the object at the site. A nil
+// policy or an unknown site ("" — an untagged peer) admits everything:
+// filtering is an optimisation, never a correctness gate for untagged
+// peers, while the receiving side still refuses objects it is not placed
+// for.
+func (r *Replicator) placedAt(site string, o *information.Object) bool {
+	if r.policy == nil || site == "" {
+		return true
+	}
+	return r.policy.PlacedAt(site, placement.Describe(o))
 }
 
 // AutoSync arms idle-aware anti-entropy: local writes to the space
@@ -281,8 +328,11 @@ func (r *Replicator) schedule(d time.Duration) {
 
 // roundState accumulates one round's outcome across its peer exchanges.
 type roundState struct {
-	moved    bool // any delta applied or pushed
-	failures int  // peers that could not be exchanged with
+	moved         bool // any delta applied or pushed
+	failures      int  // peers that could not be exchanged with
+	digestEntries int  // digest entries shipped across the round's requests
+	applied       int  // deltas merged in across the round
+	pushed        int  // objects pushed across the round
 }
 
 // fire initiates a round. Runs on the clock's event goroutine.
@@ -297,23 +347,26 @@ func (r *Replicator) fire() {
 	r.wantSync = false
 	r.wantNow = false
 	r.stats.Rounds++
-	peers := append([]netsim.Address(nil), r.peers...)
+	peers := append([]peer(nil), r.peers...)
 	r.mu.Unlock()
-	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	sort.Slice(peers, func(i, j int) bool { return peers[i].addr < peers[j].addr })
 	r.syncPeer(peers, 0, roundState{})
 }
 
 // syncPeer exchanges with peers[i] and chains to the next peer; exchanges
 // run sequentially in sorted order so rounds are deterministic.
-func (r *Replicator) syncPeer(peers []netsim.Address, i int, st roundState) {
+func (r *Replicator) syncPeer(peers []peer, i int, st roundState) {
 	if i >= len(peers) {
 		r.roundDone(st)
 		return
 	}
-	peer := peers[i]
+	p := peers[i]
 	next := func(st roundState) { r.syncPeer(peers, i+1, st) }
 
-	r.ep.GoJSON(peer, MethodSync, syncReq{Site: r.site, Digest: r.space.Digest()}, func(res rpc.Result) {
+	digest := r.space.Digest()
+	st.digestEntries += len(digest)
+	r.bump(func(s *Stats) { s.DigestEntriesSent += int64(len(digest)) })
+	r.ep.GoJSON(p.addr, MethodSync, syncReq{Site: r.site, Digest: digest}, func(res rpc.Result) {
 		var resp syncResp
 		if err := res.Decode(&resp); err != nil {
 			r.bump(func(s *Stats) { s.PeerFailures++ })
@@ -323,7 +376,14 @@ func (r *Replicator) syncPeer(peers []netsim.Address, i int, st roundState) {
 		}
 		applied := 0
 		for _, w := range resp.Deltas {
-			changed, conflict, err := r.space.ApplyRemote(fromWire(w))
+			obj := fromWire(w)
+			if !r.placedAt(r.site, obj) {
+				// The peer offered an object of a space this site is no
+				// longer placed in (e.g. de-placed mid-sync).
+				r.bump(func(s *Stats) { s.RefusedApplies++ })
+				continue
+			}
+			changed, conflict, err := r.space.ApplyRemote(obj)
 			if err != nil {
 				continue
 			}
@@ -335,13 +395,31 @@ func (r *Replicator) syncPeer(peers []netsim.Address, i int, st roundState) {
 			}
 		}
 		r.bump(func(s *Stats) { s.PeerSyncs++; s.Applied += int64(applied) })
+		st.applied += applied
 		if applied > 0 {
 			st.moved = true
 		}
 
 		// Push half: everything the peer's digest had not seen — which,
-		// after applying its deltas, includes merged conflict resolutions.
+		// after applying its deltas, includes merged conflict resolutions —
+		// scoped to the peer's placement interest set.
+		peerSite := resp.Site
+		if peerSite == "" {
+			peerSite = p.site
+		}
 		push := r.space.NewerThan(resp.Digest)
+		if r.policy != nil {
+			kept := push[:0]
+			for _, obj := range push {
+				if r.placedAt(peerSite, obj) {
+					kept = append(kept, obj)
+				}
+			}
+			if filtered := len(push) - len(kept); filtered > 0 {
+				r.bump(func(s *Stats) { s.FilteredPushes += int64(filtered) })
+			}
+			push = kept
+		}
 		if len(push) == 0 {
 			next(st)
 			return
@@ -350,13 +428,14 @@ func (r *Replicator) syncPeer(peers []netsim.Address, i int, st roundState) {
 		for j, obj := range push {
 			wires[j] = toWire(obj)
 		}
-		r.ep.GoJSON(peer, MethodPush, pushReq{Site: r.site, Objects: wires}, func(res rpc.Result) {
+		r.ep.GoJSON(p.addr, MethodPush, pushReq{Site: r.site, Objects: wires}, func(res rpc.Result) {
 			var pr pushResp
 			if err := res.Decode(&pr); err != nil {
 				r.bump(func(s *Stats) { s.PeerFailures++ })
 				st.failures++
 			} else {
 				r.bump(func(s *Stats) { s.Pushed += int64(len(wires)) })
+				st.pushed += len(wires)
 				// Progress only if the peer actually changed state — it may
 				// have received the same objects from another site already.
 				if pr.Applied > 0 {
@@ -375,6 +454,9 @@ func (r *Replicator) syncPeer(peers []netsim.Address, i int, st roundState) {
 func (r *Replicator) roundDone(st roundState) {
 	r.mu.Lock()
 	r.running = false
+	r.stats.LastRoundDigestEntries = st.digestEntries
+	r.stats.LastRoundDeltas = st.applied
+	r.stats.LastRoundPushed = st.pushed
 	if st.failures > 0 {
 		r.consecFailures++
 	} else {
@@ -406,8 +488,23 @@ func (r *Replicator) register() {
 	r.ep.MustRegister(MethodSync, rpc.HandleJSON(func(_ netsim.Address, req syncReq) (syncResp, error) {
 		r.bump(func(s *Stats) { s.ServedDigests++ })
 		deltas := r.space.NewerThan(req.Digest)
-		resp := syncResp{Digest: r.space.Digest()}
+		if r.policy != nil {
+			// The caller only sees deltas of spaces it is placed in — the
+			// partial-replication cut, applied where the data would leave.
+			kept := deltas[:0]
+			for _, obj := range deltas {
+				if r.placedAt(req.Site, obj) {
+					kept = append(kept, obj)
+				}
+			}
+			if filtered := len(deltas) - len(kept); filtered > 0 {
+				r.bump(func(s *Stats) { s.FilteredDeltas += int64(filtered) })
+			}
+			deltas = kept
+		}
+		resp := syncResp{Site: r.site, Digest: r.space.Digest()}
 		if len(deltas) > 0 {
+			r.bump(func(s *Stats) { s.DeltasServed += int64(len(deltas)) })
 			resp.Deltas = make([]wireObject, len(deltas))
 			for i, obj := range deltas {
 				resp.Deltas[i] = toWire(obj)
@@ -417,9 +514,17 @@ func (r *Replicator) register() {
 	}))
 	r.ep.MustRegister(MethodPush, rpc.HandleJSON(func(_ netsim.Address, req pushReq) (pushResp, error) {
 		var resp pushResp
+		notPlaced := 0
 		for _, w := range req.Objects {
-			changed, conflict, err := r.space.ApplyRemote(fromWire(w))
+			obj := fromWire(w)
+			if !r.placedAt(r.site, obj) {
+				notPlaced++
+				resp.Refused = append(resp.Refused, obj.ID)
+				continue
+			}
+			changed, conflict, err := r.space.ApplyRemote(obj)
 			if err != nil {
+				resp.Refused = append(resp.Refused, obj.ID)
 				continue
 			}
 			if changed {
@@ -429,10 +534,174 @@ func (r *Replicator) register() {
 				resp.Conflicts++
 			}
 		}
+		// Migrated edges: recorded best-effort AFTER the rows, so edges
+		// between rows of the same batch land. An edge whose other
+		// endpoint is not held here cannot be recorded (cross-site edges
+		// are the relationship-graph-replication open item) and is
+		// skipped.
+		for _, rel := range req.Relations {
+			_ = r.space.Relate(rel.From, information.RelKind(rel.Kind), rel.To)
+		}
 		r.bump(func(s *Stats) {
 			s.ServedApplied += int64(resp.Applied)
 			s.Conflicts += int64(resp.Conflicts)
+			s.RefusedApplies += int64(notPlaced)
 		})
 		return resp, nil
 	}))
+}
+
+// --- placement migration ---------------------------------------------------
+
+// MigrationReport summarises one MigrateForeign run.
+type MigrationReport struct {
+	Foreign  int // rows found that this site is not placed for
+	Moved    int // rows pushed to a placed peer
+	Dropped  int // rows evicted locally after a successful push
+	Kept     int // rows retained (no reachable placed peer — never drop data)
+	Failures int // push exchanges that failed
+}
+
+// MigrateForeign moves rows of spaces this site is no longer placed in
+// off this replica: each foreign row is pushed (MethodPush) to the first
+// placed site among the named peers together with the relationship edges
+// touching it, and only rows the target ACCEPTED (absent from the
+// response's Refused list) are dropped locally. Rows whose placement
+// names no reachable peer, whose push fails, that the target refuses
+// (e.g. the policy moved again mid-flight), or that a local write
+// touched after the migration snapshot (the push did not cover the new
+// state) are kept — migration never destroys the only copy. Edges whose other endpoint the target does not
+// hold cannot be recorded there (cross-site edges are an open item) and
+// are lost with the local drop. done (optional) receives the report when
+// every push has completed; under a simulated clock, drain the clock to
+// let the pushes run.
+func (r *Replicator) MigrateForeign(done func(MigrationReport)) {
+	if done == nil {
+		done = func(MigrationReport) {}
+	}
+	policy := r.policy
+	if policy == nil {
+		done(MigrationReport{})
+		return
+	}
+	r.mu.Lock()
+	siteAddr := make(map[string]netsim.Address, len(r.peers))
+	for _, p := range r.peers {
+		if p.site != "" {
+			siteAddr[p.site] = p.addr
+		}
+	}
+	r.mu.Unlock()
+
+	var rep MigrationReport
+	groups := make(map[netsim.Address][]*information.Object)
+	for _, obj := range r.space.NewerThan(nil) { // nil digest = every row
+		pl := policy.SitesFor(placement.Describe(obj))
+		if pl.At(r.site) {
+			continue
+		}
+		rep.Foreign++
+		var target netsim.Address
+		found := false
+		for _, site := range pl.Sites { // sorted: deterministic target
+			if addr, ok := siteAddr[site]; ok {
+				target, found = addr, true
+				break
+			}
+		}
+		if !found {
+			rep.Kept++
+			continue
+		}
+		groups[target] = append(groups[target], obj)
+	}
+	targets := make([]netsim.Address, 0, len(groups))
+	for addr := range groups {
+		targets = append(targets, addr)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	var step func(int)
+	step = func(i int) {
+		if i >= len(targets) {
+			r.bump(func(s *Stats) {
+				s.Migrated += int64(rep.Moved)
+				s.Evicted += int64(rep.Dropped)
+			})
+			done(rep)
+			return
+		}
+		batch := groups[targets[i]]
+		wires := make([]wireObject, len(batch))
+		ids := make([]string, len(batch))
+		for j, obj := range batch {
+			wires[j] = toWire(obj)
+			ids[j] = obj.ID
+		}
+		req := pushReq{Site: r.site, Objects: wires, Relations: r.edgesTouching(ids)}
+		r.ep.GoJSON(targets[i], MethodPush, req, func(res rpc.Result) {
+			var pr pushResp
+			if err := res.Decode(&pr); err != nil {
+				// Unreachable target: the rows stay here until the next
+				// migration attempt.
+				rep.Failures++
+				rep.Kept += len(batch)
+			} else {
+				refused := make(map[string]bool, len(pr.Refused))
+				for _, id := range pr.Refused {
+					refused[id] = true
+				}
+				for _, obj := range batch {
+					if refused[obj.ID] {
+						// The target would not take it (the policy may have
+						// moved again mid-flight): this copy stays.
+						rep.Kept++
+						continue
+					}
+					rep.Moved++
+					// Evict only what the push covered: a local write that
+					// landed after the migration snapshot keeps the row for
+					// the next pass instead of being destroyed.
+					removed, derr := r.space.DropCovered(obj.ID, obj.VV)
+					if derr == nil && removed != nil {
+						rep.Dropped++
+					} else if derr == nil {
+						rep.Kept++
+					}
+				}
+			}
+			step(i + 1)
+		}, rpc.CallTimeout(r.timeout))
+	}
+	step(0)
+}
+
+// edgesTouching collects every relationship edge with an endpoint among
+// ids, deduplicated — the graph share that must travel with migrating
+// rows.
+func (r *Replicator) edgesTouching(ids []string) []wireRelation {
+	kinds := []information.RelKind{
+		information.RelComposedOf, information.RelDependsOn, information.RelDerivedFrom,
+	}
+	seen := make(map[wireRelation]bool)
+	var out []wireRelation
+	for _, id := range ids {
+		for _, k := range kinds {
+			for _, to := range r.space.Related(id, k) {
+				e := wireRelation{From: id, Kind: string(k), To: to}
+				if !seen[e] {
+					seen[e] = true
+					out = append(out, e)
+				}
+			}
+			for _, from := range r.space.Dependents(id, k) {
+				e := wireRelation{From: from, Kind: string(k), To: id}
+				if !seen[e] {
+					seen[e] = true
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	return out
 }

@@ -40,12 +40,13 @@ type Selector struct {
 }
 
 // NewSelector creates a selector whose default mask provides every CSCW
-// transparency (the "it just works" posture) plus replication transparency
-// — replicated state looks like one space; users deselect what they want
-// to see.
+// transparency (the "it just works" posture) plus replication and
+// location transparency — replicated state looks like one space and a
+// trader-resolved remote read looks like a local one; users deselect
+// what they want to see.
 func NewSelector() *Selector {
 	return &Selector{
-		defaults: odp.MaskOf(odp.Organisation, odp.Time, odp.View, odp.Activity, odp.Replication),
+		defaults: odp.MaskOf(odp.Organisation, odp.Time, odp.View, odp.Activity, odp.Replication, odp.Location),
 		per:      make(map[string]odp.Mask),
 	}
 }
@@ -246,6 +247,50 @@ func FilterReplica(sel *Selector, principal string, meta ReplicaMeta, fields map
 	out[ReplicaSiteField] = meta.Site
 	out[ReplicaWriterField] = meta.Writer
 	out[ReplicaVersionField] = meta.Version
+	return out
+}
+
+// --- Location / placement transparency ------------------------------------
+
+// LocationMeta describes how a read of non-locally-placed state was
+// served: which site's replica actually held the object, which site asked,
+// and the resolution path (e.g. "trader" for a placement-offer lookup).
+type LocationMeta struct {
+	// Holder is the site whose replica served the read.
+	Holder string
+	// Reader is the site the read was issued from — a site not placed for
+	// the object's space.
+	Reader string
+	// Via names the resolution mechanism that found the holder.
+	Via string
+}
+
+// Location-annotation field keys. Like the replica annotations they carry
+// the ViewPrefix so view transparency composes.
+const (
+	LocationHolderField = ViewPrefix + "location:holder"
+	LocationReaderField = ViewPrefix + "location:reader"
+	LocationViaField    = ViewPrefix + "location:via"
+)
+
+// FilterLocation applies location transparency to a read that was served
+// by a remote holder under partial replication. With the transparency
+// selected (the default) a non-placed site looks like it holds every
+// space — the fields pass through untouched. Without it, the reader asked
+// to see placement: the returned copy is annotated with the holding site,
+// the asking site and the resolution path, so the cost of not being
+// placed is in the user's face.
+func FilterLocation(sel *Selector, principal string, meta LocationMeta, fields map[string]string) map[string]string {
+	if sel.For(principal).Has(odp.Location) {
+		return fields
+	}
+	out := make(map[string]string, len(fields)+3)
+	for k, v := range fields {
+		out[k] = v
+	}
+	out[LocationHolderField] = meta.Holder
+	out[LocationReaderField] = meta.Reader
+	out[LocationViaField] = meta.Via
 	return out
 }
 

@@ -38,6 +38,7 @@ import (
 	"mocca/internal/information/logstore"
 	"mocca/internal/mhs"
 	"mocca/internal/netsim"
+	"mocca/internal/placement"
 	"mocca/internal/replica"
 	"mocca/internal/rpc"
 	"mocca/internal/rtc"
@@ -93,6 +94,17 @@ func WithSyncInterval(interval time.Duration) Option {
 	return func(d *Deployment) { d.syncEvery = interval }
 }
 
+// WithPlacement seeds the deployment's placement policy with rules, so
+// partial replication is in force from the first site: each site only
+// replicates the information spaces placed at it, resolves everything
+// else through trader-mediated remote reads, and the policy can be
+// re-tailored at runtime via Deployment.SetPlacementRules. Without this
+// option the policy is the deterministic replicate-everywhere default —
+// existing deployments are unchanged.
+func WithPlacement(rules ...placement.Rule) Option {
+	return func(d *Deployment) { d.placeRules = rules }
+}
+
 // WithSiteBackend supplies per-site information storage: the factory is
 // called when a site's replica is materialised (AddSite) and again on
 // Site.Restart, so a durable backend re-opened by the factory recovers
@@ -120,6 +132,7 @@ type Deployment struct {
 	link       netsim.LinkProfile
 	syncEvery  time.Duration
 	backendFor func(site string) (information.Backend, error)
+	placeRules []placement.Rule
 
 	clock  *vclock.Simulated
 	net    *netsim.Network
@@ -132,6 +145,8 @@ type Deployment struct {
 	backends     map[string]information.Backend
 	userEPs      map[netsim.Address]*rpc.Endpoint
 	userSessions map[netsim.Address]*rtc.Session
+	userSites    map[string]string // personal name -> site, for activity placement
+	placedOffers []string          // trader offer ids exported for placement
 }
 
 // Site is one organisation's installation: an MTA, local users, and the
@@ -141,12 +156,15 @@ type Site struct {
 	Name   string
 	Domain string
 
-	dep     *Deployment
-	mta     *mhs.MTA
-	env     *core.SiteEnv
-	repl    *replica.Replicator
-	replEP  *rpc.Endpoint // the replicator's endpoint; closed on Crash
-	crashed bool
+	dep        *Deployment
+	mta        *mhs.MTA
+	env        *core.SiteEnv
+	repl       *replica.Replicator
+	replEP     *rpc.Endpoint // the replicator's endpoint; closed on Crash
+	readEP     *rpc.Endpoint // the placement read endpoint; closed on Crash
+	reader     *placement.Reader
+	readServer *placement.ReadServer
+	crashed    bool
 }
 
 // NewDeployment builds the simulated substrate and environment.
@@ -159,6 +177,7 @@ func NewDeployment(opts ...Option) *Deployment {
 		backends:     make(map[string]information.Backend),
 		userEPs:      make(map[netsim.Address]*rpc.Endpoint),
 		userSessions: make(map[netsim.Address]*rtc.Session),
+		userSites:    make(map[string]string),
 	}
 	for _, opt := range opts {
 		opt(d)
@@ -176,6 +195,21 @@ func NewDeployment(opts ...Option) *Deployment {
 	}
 	d.env = core.New(d.clock, envOpts...)
 	d.fabric = engineering.NewFabric()
+
+	// Placement: seed the policy before subscribing, so construction does
+	// not fire a (pointless) migration pass; later rule changes re-export
+	// trader offers, migrate rows off de-placed sites and kick sync.
+	if len(d.placeRules) > 0 {
+		d.env.Placement().Use(d.placeRules...)
+	}
+	d.env.Placement().Subscribe(d.onPlacementChange)
+	d.env.SetReadThrough(func(fromSite, actor, objID string) (*information.Object, string, error) {
+		site, ok := d.sites[fromSite]
+		if !ok {
+			return nil, "", fmt.Errorf("mocca: read-through from unknown site %q", fromSite)
+		}
+		return site.reader.Read(actor, objID)
+	})
 
 	d.mcu = rtc.NewServer(d.newEndpoint("mcu"), d.clock, rtc.WithIDs(d.ids))
 
@@ -266,19 +300,24 @@ func (d *Deployment) Clock() *vclock.Simulated { return d.clock }
 
 // AddSite creates a site: one MTA serving the given domain, routed to all
 // existing sites (full mesh), plus the site's information-space replica
-// with its anti-entropy replicator peered the same way.
+// with its anti-entropy replicator peered the same way — scoped by the
+// deployment's placement policy — and a placement read endpoint serving
+// trader-mediated remote reads of the spaces hosted here.
 func (d *Deployment) AddSite(name, domain string) *Site {
 	addr := netsim.Address("mta-" + name)
 	mta := mhs.NewMTA(string(addr), domain, d.newEndpoint(addr), d.clock, mhs.WithIDs(d.ids))
 	senv := d.env.SiteEnv(name)
 	replEP := d.newEndpoint(netsim.Address("repl-" + name))
-	repl := replica.New(replEP, d.clock, senv.Space())
+	repl := replica.New(replEP, d.clock, senv.Space(), replica.WithPlacement(d.env.Placement()))
 	site := &Site{Name: name, Domain: domain, dep: d, mta: mta, env: senv, repl: repl, replEP: replEP}
+	site.readEP = d.newEndpoint(site.readAddr())
+	site.reader = placement.NewReader(site.readEP, d.env.Trader(), name)
+	site.readServer = placement.NewReadServer(site.readEP, name, func() *information.Space { return site.env.Space() })
 	for _, other := range d.sites {
 		mta.AddRoute(other.Domain, other.mta.Addr())
 		other.mta.AddRoute(domain, mta.Addr())
-		repl.AddPeer(other.repl.Addr())
-		other.repl.AddPeer(repl.Addr())
+		repl.AddPeerNamed(other.Name, other.repl.Addr())
+		other.repl.AddPeerNamed(name, repl.Addr())
 	}
 	repl.AutoSync(d.syncEvery)
 	if len(d.sites) > 0 {
@@ -288,7 +327,121 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 		repl.SyncNow()
 	}
 	d.sites[name] = site
+	d.refreshPlacementOffers()
 	return site
+}
+
+// Placement returns the deployment's placement policy.
+func (d *Deployment) Placement() *placement.Policy { return d.env.Placement() }
+
+// SetPlacementRules replaces the placement rule set at runtime: trader
+// offers are re-exported, every site migrates rows of spaces it is no
+// longer placed in to a placed peer, and sync rounds kick everywhere.
+// Drain with Run afterwards to let migration and re-replication finish.
+func (d *Deployment) SetPlacementRules(rules ...placement.Rule) {
+	d.env.Placement().Use(rules...) // fires onPlacementChange
+}
+
+// onPlacementChange reacts to a policy change (Policy.Use/Add): offers
+// follow the new hosting map, de-placed rows migrate off, and a sync
+// round spreads whatever moved.
+func (d *Deployment) onPlacementChange() {
+	d.refreshPlacementOffers()
+	for _, name := range d.SiteNames() {
+		if s := d.sites[name]; !s.crashed {
+			s.repl.MigrateForeign(nil)
+		}
+	}
+	d.SyncInformation()
+}
+
+// refreshPlacementOffers re-exports one trader offer per (site, hosted
+// space): the assignments of every installed rule plus the implicit
+// everywhere-space. These offers are what a non-placed site's reader
+// imports to resolve a holder.
+func (d *Deployment) refreshPlacementOffers() {
+	tr := d.env.Trader()
+	if !tr.HasType(placement.ServiceType) {
+		if err := tr.RegisterType(placement.ServiceType); err != nil {
+			panic(fmt.Sprintf("mocca: register placement service type: %v", err))
+		}
+	}
+	for _, id := range d.placedOffers {
+		_ = tr.Withdraw(id) // stale hosting claims go away; unknown ids are fine
+	}
+	d.placedOffers = d.placedOffers[:0]
+	assignments := d.env.Placement().Assignments()
+	for _, name := range d.SiteNames() {
+		site := d.sites[name]
+		spaces := []string{placement.DefaultSpace}
+		for _, a := range assignments {
+			hosted := len(a.Sites) == 0
+			for _, s := range a.Sites {
+				if s == name {
+					hosted = true
+					break
+				}
+			}
+			if hosted {
+				spaces = append(spaces, a.Space)
+			}
+		}
+		for _, space := range spaces {
+			offer := trader.Offer{
+				ID:          placement.OfferID(name, space),
+				ServiceType: placement.ServiceType,
+				Provider:    site.readAddr(),
+				Properties: directory.NewAttributes(
+					placement.SpaceProp, space,
+					placement.SiteProp, name,
+				),
+			}
+			if err := tr.Export(offer); err != nil {
+				panic(fmt.Sprintf("mocca: export placement offer %q: %v", offer.ID, err))
+			}
+			d.placedOffers = append(d.placedOffers, offer.ID)
+		}
+	}
+}
+
+// SitePlacementStats is one site's view of partial replication: what it
+// holds, what placement kept away from it, and how often it had to (or
+// got to) serve reads across sites.
+type SitePlacementStats struct {
+	Site    string
+	Objects int // rows currently on the site's replica
+
+	FilteredDeltas int64 // delta objects withheld from peers by placement
+	FilteredPushes int64 // push objects withheld from peers by placement
+	RefusedApplies int64 // offered objects the site is not placed for
+	Migrated       int64 // rows pushed off by migration
+	Evicted        int64 // rows dropped locally after migration
+
+	RemoteReadsIssued int64 // read-throughs this site asked for
+	RemoteReadsServed int64 // remote reads this site answered for others
+}
+
+// PlacementStats reports per-site placement statistics, sorted by site —
+// the observable face of partial replication (the engineering byte counts
+// live in Fabric.TotalsFor("repl-")).
+func (d *Deployment) PlacementStats() []SitePlacementStats {
+	out := make([]SitePlacementStats, 0, len(d.sites))
+	for _, name := range d.SiteNames() {
+		site := d.sites[name]
+		rs := site.repl.Stats()
+		out = append(out, SitePlacementStats{
+			Site:              name,
+			Objects:           site.Space().Len(),
+			FilteredDeltas:    rs.FilteredDeltas,
+			FilteredPushes:    rs.FilteredPushes,
+			RefusedApplies:    rs.RefusedApplies,
+			Migrated:          rs.Migrated,
+			Evicted:           rs.Evicted,
+			RemoteReadsIssued: site.reader.Stats().Reads,
+			RemoteReadsServed: site.readServer.Stats().Served,
+		})
+	}
+	return out
 }
 
 // Site returns a site by name.
@@ -316,11 +469,48 @@ func (d *Deployment) SyncInformation() {
 }
 
 // AddUser provisions a user at the site: an MHS mailbox plus registration
-// with the communication hub.
+// with the communication hub. The user's home site is recorded so
+// activity-scoped placement can map activity members to the sites whose
+// replicas must host the activity's space.
 func (s *Site) AddUser(personal string) *mhs.UserAgent {
 	ua := mhs.NewUserAgent(normalizeOR(personal, s.Domain), s.mta)
 	s.dep.env.Hub().Register(personal, ua)
+	s.dep.userSites[personal] = s.Name
 	return ua
+}
+
+// UserSite reports which site a user was provisioned at.
+func (d *Deployment) UserSite(personal string) (string, bool) {
+	site, ok := d.userSites[personal]
+	return site, ok
+}
+
+// ActivityMemberSites resolves an activity id to the home sites of its
+// current members — the lookup an activity-scoped placement rule needs.
+// Use it with placement.ByActivity:
+//
+//	dep.SetPlacementRules(placement.ByActivity(act.ID, "context", dep.ActivityMemberSites))
+//
+// Membership is consulted per placement decision, so joins and leaves
+// move the activity's space without touching the rule set (kick
+// Deployment.SetPlacementRules or Policy.Use to migrate existing rows).
+func (d *Deployment) ActivityMemberSites(activityID string) []string {
+	act, err := d.env.Activities().Get(activityID)
+	if err != nil {
+		return nil
+	}
+	set := make(map[string]bool)
+	for member := range act.Members {
+		if site, ok := d.userSites[member]; ok {
+			set[site] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for site := range set {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // normalizeOR builds an O/R name within a routing domain of the form
@@ -375,13 +565,18 @@ func (s *Site) Crash() {
 	if node, ok := d.net.Node(s.replAddr()); ok {
 		node.SetDown(true)
 	}
+	if node, ok := d.net.Node(s.readAddr()); ok {
+		node.SetDown(true)
+	}
 	if node, ok := d.net.Node(s.mta.Addr()); ok {
 		node.SetDown(true)
 	}
-	// Close the replication endpoint: pending calls cancel now and any
-	// stale auto-sync round the dead replicator still fires completes
-	// immediately instead of dribbling timeouts after the restart.
+	// Close the replication and read endpoints: pending calls cancel now
+	// and any stale auto-sync round the dead replicator still fires
+	// completes immediately instead of dribbling timeouts after the
+	// restart.
 	s.replEP.Close()
+	s.readEP.Close()
 	if b, ok := d.backends[s.Name]; ok {
 		// Closing drops the file handle; every append already reached the
 		// OS before its write returned, so this models a kill at the last
@@ -417,20 +612,27 @@ func (s *Site) Restart() error {
 		d.backends[s.Name] = b
 	}
 	s.env = d.env.ResetSiteSpace(s.Name, backend)
-	// Fresh endpoint and replicator over the same address; the old
-	// replicator's endpoint was closed by Crash, so any round it still
-	// fires fails instantly and it goes dormant under its failure cap.
+	// Fresh endpoints, replicator and read server over the same
+	// addresses; the old replicator's endpoint was closed by Crash, so
+	// any round it still fires fails instantly and it goes dormant under
+	// its failure cap.
 	s.replEP = d.endpointAt(s.replAddr())
-	s.repl = replica.New(s.replEP, d.clock, s.env.Space())
+	s.repl = replica.New(s.replEP, d.clock, s.env.Space(), replica.WithPlacement(d.env.Placement()))
+	s.readEP = d.endpointAt(s.readAddr())
+	s.reader = placement.NewReader(s.readEP, d.env.Trader(), s.Name)
+	s.readServer = placement.NewReadServer(s.readEP, s.Name, func() *information.Space { return s.env.Space() })
 	for _, other := range d.sites {
 		if other == s {
 			continue
 		}
-		s.repl.AddPeer(other.repl.Addr())
-		other.repl.AddPeer(s.repl.Addr())
+		s.repl.AddPeerNamed(other.Name, other.repl.Addr())
+		other.repl.AddPeerNamed(s.Name, s.repl.Addr())
 	}
 	s.repl.AutoSync(d.syncEvery)
 	if node, ok := d.net.Node(s.mta.Addr()); ok {
+		node.SetDown(false)
+	}
+	if node, ok := d.net.Node(s.readAddr()); ok {
 		node.SetDown(false)
 	}
 	if node, ok := d.net.Node(s.replAddr()); ok {
@@ -444,6 +646,11 @@ func (s *Site) Restart() error {
 
 // replAddr is the site's replication endpoint address.
 func (s *Site) replAddr() netsim.Address { return netsim.Address("repl-" + s.Name) }
+
+// readAddr is the site's placement read endpoint address — separate from
+// replAddr so Fabric.TotalsFor("repl-") measures pure anti-entropy
+// traffic and TotalsFor("place-") measures remote reads.
+func (s *Site) readAddr() netsim.Address { return netsim.Address("place-" + s.Name) }
 
 // JoinConference creates a session for a member at their own node and
 // joins it, driving the simulated clock until the join completes.
