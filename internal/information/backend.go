@@ -37,6 +37,13 @@ type Backend interface {
 	// (nil, nil). This is the placement-migration eviction primitive — a
 	// replica dropping rows of a space it is no longer placed in.
 	Remove(id string) (*Object, error)
+	// Range calls fn for every stored row under the backend's read
+	// exclusion, in unspecified order, stopping early when fn returns
+	// false. fn may receive the live row: it must treat the row as
+	// read-only, must not retain it past its return, and must not call
+	// back into the backend. This is the streaming primitive the Space
+	// uses to rebuild its Merkle digest tree over recovered state.
+	Range(fn func(*Object) bool)
 	// Digest summarises every row's version vector for anti-entropy
 	// exchange.
 	Digest() map[string]vclock.Version

@@ -928,6 +928,10 @@ func (s *Store) Snapshot(pred func(*information.Object) bool) []*information.Obj
 	return s.mem.Snapshot(pred)
 }
 
+// Range streams the live rows under the memory store's read lock — the
+// recovery path a Space rebuilds its Merkle digest tree from.
+func (s *Store) Range(fn func(*information.Object) bool) { s.mem.Range(fn) }
+
 // Digest summarises every row's version vector for anti-entropy exchange.
 func (s *Store) Digest() map[string]vclock.Version { return s.mem.Digest() }
 

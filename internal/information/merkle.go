@@ -1,0 +1,270 @@
+package information
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"mocca/internal/vclock"
+)
+
+// The Merkle digest tree summarises a replica's id→version-vector digest
+// so anti-entropy rounds stop shipping the full digest: converged
+// replicas compare one root hash, divergent ones descend only the
+// mismatched subtrees. The tree structure is a protocol constant — every
+// replica buckets ids the same way — so hashes compare across sites.
+const (
+	// MerkleFanout is the number of children per internal node.
+	MerkleFanout = 16
+	// MerkleDepth is the number of levels below the root; nodes at level
+	// MerkleDepth are the leaves.
+	MerkleDepth = 3
+	// MerkleLeaves is the leaf count, MerkleFanout^MerkleDepth.
+	MerkleLeaves = 4096
+)
+
+// MerkleBucket maps an object id to its leaf bucket. The assignment is a
+// pure function of the id, so every replica files the same object under
+// the same leaf.
+func MerkleBucket(id string) uint32 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return uint32(h.Sum64() & (MerkleLeaves - 1))
+}
+
+// merkleEntry is one object's contribution to its leaf: the entry hash
+// (folded into the leaf by XOR) plus the version vector it was computed
+// from, kept so updates can be ordered and high-water scans need no
+// store access.
+type merkleEntry struct {
+	hash uint64
+	vv   vclock.Version
+}
+
+// entryHash hashes one (id, version-vector) pair. The vector is encoded
+// canonically (vclock.AppendBinary, sorted sites), so equal object states
+// hash equally at every replica.
+func entryHash(id string, vv vclock.Version) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write(vv.AppendBinary(nil))
+	return h.Sum64()
+}
+
+// DigestTree is the incremental Merkle summary of a replica's digest.
+// Leaves fold their entries with XOR (so an entry update is O(1) on the
+// leaf), internal nodes hash their children, and every mutation
+// recomputes only the root path — O(MerkleDepth·MerkleFanout) hash work
+// per commit. It also tracks per-site high-water marks (the maximum
+// counter any entry records per site), the fast path the sync protocol
+// uses to spot single-writer progress without descending the tree.
+//
+// The tree is storage-agnostic and rebuilt from Backend.Range when a
+// Space opens over recovered state, so a durable replica re-enters
+// anti-entropy with the exact root it crashed with.
+type DigestTree struct {
+	mu      sync.RWMutex
+	buckets [MerkleLeaves]map[string]merkleEntry
+	levels  [][]uint64 // levels[0] = [root], levels[MerkleDepth] = leaves
+	hw      map[string]uint64
+	count   int
+	gen     uint64
+}
+
+// NewDigestTree creates an empty tree with all internal hashes computed,
+// so two empty replicas compare equal from the first round.
+func NewDigestTree() *DigestTree {
+	t := &DigestTree{hw: make(map[string]uint64)}
+	t.levels = make([][]uint64, MerkleDepth+1)
+	size := 1
+	for l := 0; l <= MerkleDepth; l++ {
+		t.levels[l] = make([]uint64, size)
+		size *= MerkleFanout
+	}
+	for l := MerkleDepth - 1; l >= 0; l-- {
+		for i := range t.levels[l] {
+			t.levels[l][i] = t.hashChildrenLocked(l, uint32(i))
+		}
+	}
+	return t
+}
+
+// hashChildrenLocked hashes the MerkleFanout children of node (level,
+// index) into the node's hash. Internal nodes use a positional hash (not
+// XOR) so a change in any leaf avalanches up to the root.
+func (t *DigestTree) hashChildrenLocked(level int, index uint32) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	base := index * MerkleFanout
+	for j := uint32(0); j < MerkleFanout; j++ {
+		c := t.levels[level+1][base+j]
+		buf[0] = byte(c >> 56)
+		buf[1] = byte(c >> 48)
+		buf[2] = byte(c >> 40)
+		buf[3] = byte(c >> 32)
+		buf[4] = byte(c >> 24)
+		buf[5] = byte(c >> 16)
+		buf[6] = byte(c >> 8)
+		buf[7] = byte(c)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// recomputePathLocked recomputes every internal node on the path from
+// leaf bucket b up to the root.
+func (t *DigestTree) recomputePathLocked(b uint32) {
+	idx := b
+	for l := MerkleDepth - 1; l >= 0; l-- {
+		idx /= MerkleFanout
+		t.levels[l][idx] = t.hashChildrenLocked(l, idx)
+	}
+	t.gen++
+}
+
+// Update records the object's current version vector. A call whose
+// vector the stored entry already dominates is ignored — the commit it
+// describes lost a store-level race to a newer one — so tree state can
+// never regress behind the store under concurrent writers.
+func (t *DigestTree) Update(id string, vv vclock.Version) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := MerkleBucket(id)
+	if t.buckets[b] == nil {
+		t.buckets[b] = make(map[string]merkleEntry)
+	}
+	if cur, ok := t.buckets[b][id]; ok {
+		switch cur.vv.Compare(vv) {
+		case vclock.After, vclock.Equal:
+			return
+		}
+		t.levels[MerkleDepth][b] ^= cur.hash
+	} else {
+		t.count++
+	}
+	e := merkleEntry{hash: entryHash(id, vv), vv: vv.Clone()}
+	t.buckets[b][id] = e
+	t.levels[MerkleDepth][b] ^= e.hash
+	for s, c := range vv {
+		if c > t.hw[s] {
+			t.hw[s] = c
+		}
+	}
+	t.recomputePathLocked(b)
+}
+
+// Remove drops the object's entry (a no-op for unknown ids). High-water
+// marks are deliberately monotone and survive removals: they are a
+// fast-path heuristic the root hash verifies, never a correctness gate.
+func (t *DigestTree) Remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := MerkleBucket(id)
+	cur, ok := t.buckets[b][id]
+	if !ok {
+		return
+	}
+	delete(t.buckets[b], id)
+	t.count--
+	t.levels[MerkleDepth][b] ^= cur.hash
+	t.recomputePathLocked(b)
+}
+
+// Root returns the root hash — equal roots mean (up to hash collision)
+// equal digests.
+func (t *DigestTree) Root() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.levels[0][0]
+}
+
+// NodeHash returns the hash of node (level, index); ok is false for
+// positions outside the tree.
+func (t *DigestTree) NodeHash(level, index uint32) (uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(level) >= len(t.levels) || int(index) >= len(t.levels[level]) {
+		return 0, false
+	}
+	return t.levels[level][index], true
+}
+
+// Children returns the hashes of the MerkleFanout children of internal
+// node (level, index), or nil when the node is a leaf or out of range.
+func (t *DigestTree) Children(level, index uint32) []uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(level) >= MerkleDepth || int(index) >= len(t.levels[level]) {
+		return nil
+	}
+	base := index * MerkleFanout
+	out := make([]uint64, MerkleFanout)
+	copy(out, t.levels[level+1][base:base+MerkleFanout])
+	return out
+}
+
+// LeafDigest returns the id→version-vector digest of one leaf bucket —
+// the scoped digest a divergent leaf exchanges instead of the full one.
+func (t *DigestTree) LeafDigest(bucket uint32) map[string]vclock.Version {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if bucket >= MerkleLeaves || len(t.buckets[bucket]) == 0 {
+		return nil
+	}
+	out := make(map[string]vclock.Version, len(t.buckets[bucket]))
+	for id, e := range t.buckets[bucket] {
+		out[id] = e.vv.Clone()
+	}
+	return out
+}
+
+// HighWater returns a copy of the per-site high-water marks: for each
+// site, the maximum counter any entry's vector records.
+func (t *DigestTree) HighWater() map[string]uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]uint64, len(t.hw))
+	for s, c := range t.hw {
+		out[s] = c
+	}
+	return out
+}
+
+// NewerThanHW returns the ids (sorted, deterministic) whose vectors
+// record a counter past the given high-water marks — rows a replica with
+// those marks has certainly not seen. The converse does not hold (a row
+// below the marks can still be missing), which is why the protocol
+// verifies with a root compare afterwards.
+func (t *DigestTree) NewerThanHW(hw map[string]uint64) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for b := range t.buckets {
+		for id, e := range t.buckets[b] {
+			for s, c := range e.vv {
+				if c > hw[s] {
+					out = append(out, id)
+					break
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of entries.
+func (t *DigestTree) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Generation returns a counter bumped by every structural change — the
+// cheap staleness check for caches derived from this tree.
+func (t *DigestTree) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gen
+}

@@ -1,0 +1,189 @@
+package information
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mocca/internal/vclock"
+)
+
+// rebuildTree builds a fresh tree from scratch over the same entries —
+// the recovery-equivalence oracle for the incremental maintenance.
+func rebuildTree(entries map[string]vclock.Version) *DigestTree {
+	t := NewDigestTree()
+	for id, vv := range entries {
+		t.Update(id, vv)
+	}
+	return t
+}
+
+func TestDigestTreeIncrementalMatchesRebuild(t *testing.T) {
+	tree := NewDigestTree()
+	state := make(map[string]vclock.Version)
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("info-%04d", i)
+		vv := vclock.Version{"s0": uint64(i%3 + 1), "s1": uint64(i % 2)}
+		tree.Update(id, vv)
+		state[id] = vv.Clone()
+	}
+	// Mutate some, remove some.
+	for i := 0; i < 500; i += 7 {
+		id := fmt.Sprintf("info-%04d", i)
+		vv := state[id].Clone().Tick("s1")
+		tree.Update(id, vv)
+		state[id] = vv
+	}
+	for i := 0; i < 500; i += 13 {
+		id := fmt.Sprintf("info-%04d", i)
+		tree.Remove(id)
+		delete(state, id)
+	}
+	if got, want := tree.Count(), len(state); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if tree.Root() != rebuildTree(state).Root() {
+		t.Fatal("incremental root diverged from rebuild")
+	}
+}
+
+func TestDigestTreeOrderIndependence(t *testing.T) {
+	a, b := NewDigestTree(), NewDigestTree()
+	vvs := map[string]vclock.Version{
+		"x": {"s0": 2}, "y": {"s1": 1}, "z": {"s0": 1, "s1": 3},
+	}
+	for _, id := range []string{"x", "y", "z"} {
+		a.Update(id, vvs[id])
+	}
+	for _, id := range []string{"z", "x", "y"} {
+		b.Update(id, vvs[id])
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("insertion order changed the root")
+	}
+	// A stale update (dominated vector) must not regress the tree.
+	b.Update("x", vclock.Version{"s0": 1})
+	if a.Root() != b.Root() {
+		t.Fatal("dominated update regressed the root")
+	}
+	// Divergence is visible; re-convergence restores equality.
+	b.Update("x", vclock.Version{"s0": 3})
+	if a.Root() == b.Root() {
+		t.Fatal("divergent trees compare equal")
+	}
+	a.Update("x", vclock.Version{"s0": 3})
+	if a.Root() != b.Root() {
+		t.Fatal("re-converged trees differ")
+	}
+}
+
+func TestDigestTreeEmptyTreesAgree(t *testing.T) {
+	if NewDigestTree().Root() != NewDigestTree().Root() {
+		t.Fatal("empty roots differ")
+	}
+	tr := NewDigestTree()
+	tr.Update("a", vclock.Version{"s0": 1})
+	tr.Remove("a")
+	if tr.Root() != NewDigestTree().Root() {
+		t.Fatal("emptied tree differs from fresh tree")
+	}
+}
+
+func TestDigestTreeDescentFindsDivergentLeaf(t *testing.T) {
+	a, b := NewDigestTree(), NewDigestTree()
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("obj-%04d", i)
+		a.Update(id, vclock.Version{"s0": 1})
+		b.Update(id, vclock.Version{"s0": 1})
+	}
+	changed := "obj-0042"
+	a.Update(changed, vclock.Version{"s0": 2})
+
+	// Walk the mismatch from the root: exactly one child per level
+	// differs, ending at the changed id's bucket.
+	level, index := uint32(0), uint32(0)
+	for int(level) < MerkleDepth {
+		ca, cb := a.Children(level, index), b.Children(level, index)
+		diff := -1
+		for j := range ca {
+			if ca[j] != cb[j] {
+				if diff >= 0 {
+					t.Fatalf("level %d: more than one divergent child", level)
+				}
+				diff = j
+			}
+		}
+		if diff < 0 {
+			t.Fatalf("level %d node %d: no divergent child under a root mismatch", level, index)
+		}
+		index = index*MerkleFanout + uint32(diff)
+		level++
+	}
+	if index != MerkleBucket(changed) {
+		t.Fatalf("descent ended at bucket %d, want %d", index, MerkleBucket(changed))
+	}
+	if _, ok := a.LeafDigest(index)[changed]; !ok {
+		t.Fatal("leaf digest misses the changed id")
+	}
+}
+
+func TestDigestTreeHighWater(t *testing.T) {
+	tr := NewDigestTree()
+	tr.Update("a", vclock.Version{"s0": 3})
+	tr.Update("b", vclock.Version{"s0": 1, "s1": 5})
+	hw := tr.HighWater()
+	if hw["s0"] != 3 || hw["s1"] != 5 {
+		t.Fatalf("hw = %v", hw)
+	}
+	ids := tr.NewerThanHW(map[string]uint64{"s0": 2, "s1": 5})
+	if len(ids) != 1 || ids[0] != "a" {
+		t.Fatalf("NewerThanHW = %v, want [a]", ids)
+	}
+	if got := tr.NewerThanHW(hw); len(got) != 0 {
+		t.Fatalf("NewerThanHW(own hw) = %v, want none", got)
+	}
+}
+
+func TestSpaceTreeFollowsCommitsAndRecovery(t *testing.T) {
+	registry := NewSchemaRegistry()
+	if err := registry.Register(Schema{Name: "doc", Fields: []Field{
+		{Name: "title", Type: FieldText, Required: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewSimulated(time.Unix(0, 0))
+	a := NewSpace(registry, nil, clk, WithSite("s0"))
+	b := NewSpace(registry, nil, clk, WithSite("s1"))
+
+	obj, err := a.Put("ada", "doc", map[string]string{"title": "one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tree().Root() == b.Tree().Root() {
+		t.Fatal("write did not move the root")
+	}
+	if _, _, err := b.ApplyRemote(obj); err != nil {
+		t.Fatal(err)
+	}
+	if a.Tree().Root() != b.Tree().Root() {
+		t.Fatal("converged replicas disagree on the root")
+	}
+
+	// A Space opened over the same backend state rebuilds the same tree —
+	// the recovery contract.
+	reopened := NewSpace(registry, nil, clk, WithSite("s0"), WithBackend(backendOf(a)))
+	if reopened.Tree().Root() != a.Tree().Root() {
+		t.Fatal("rebuilt tree differs from the incremental one")
+	}
+
+	// Drop removes the entry from the tree.
+	if _, err := a.Drop(obj.ID); err != nil {
+		t.Fatal(err)
+	}
+	if a.Tree().Count() != 0 || a.Tree().Root() != NewDigestTree().Root() {
+		t.Fatal("drop left tree state behind")
+	}
+}
+
+// backendOf exposes a space's backend for the reopen test.
+func backendOf(s *Space) Backend { return s.store }

@@ -102,6 +102,7 @@ type Space struct {
 	ids      *id.Generator
 	site     string
 	store    Backend
+	tree     *DigestTree
 
 	mu    sync.RWMutex
 	subs  []subscription
@@ -171,6 +172,15 @@ func NewSpace(registry *SchemaRegistry, acl *access.System, clock vclock.Clock, 
 	if s.ids == nil {
 		s.ids = id.New()
 	}
+	// Build the Merkle digest summary over whatever the backend already
+	// holds: empty for a fresh in-memory store, the recovered replica for
+	// a durable backend re-opened after a crash — so a recovered site
+	// re-enters anti-entropy with the exact root it crashed with.
+	s.tree = NewDigestTree()
+	s.store.Range(func(o *Object) bool {
+		s.tree.Update(o.ID, o.VV)
+		return true
+	})
 	return s
 }
 
@@ -224,6 +234,7 @@ func (s *Space) Put(actor, schemaName string, fields map[string]string) (*Object
 	if err != nil {
 		return nil, err
 	}
+	s.tree.Update(stored.ID, stored.VV)
 	s.bump(func(st *SpaceStats) { st.Puts++ })
 
 	if s.acl != nil {
@@ -311,6 +322,7 @@ func (s *Space) Update(actor, objID string, expectedVersion uint64, fields map[s
 	if err != nil {
 		return nil, err
 	}
+	s.tree.Update(updated.ID, updated.VV)
 	s.bump(func(st *SpaceStats) { st.Updates++ })
 	s.notify(Event{Kind: "update", Object: updated.clone(), Actor: actor, At: updated.Updated})
 	return updated, nil
@@ -395,6 +407,7 @@ func (s *Space) Drop(id string) (*Object, error) {
 	if err != nil || removed == nil {
 		return nil, err
 	}
+	s.tree.Remove(id)
 	s.bump(func(st *SpaceStats) { st.Evictions++ })
 	s.notify(Event{Kind: "evict", Object: removed, Actor: "placement/" + s.site, At: s.clock.Now()})
 	return removed, nil
@@ -434,6 +447,21 @@ func (s *Space) Len() int { return s.store.Len() }
 // Digest summarises every object's version vector for anti-entropy
 // exchange.
 func (s *Space) Digest() map[string]vclock.Version { return s.store.Digest() }
+
+// Tree returns the replica's incremental Merkle digest summary, kept in
+// lockstep with every commit. The sync layer compares roots instead of
+// shipping the full digest and descends only mismatched subtrees.
+func (s *Space) Tree() *DigestTree { return s.tree }
+
+// Range streams the stored rows through fn (see Backend.Range for the
+// aliasing contract) — the replication layer's bulk scan that avoids
+// materialising a copy of every row.
+func (s *Space) Range(fn func(*Object) bool) { s.store.Range(fn) }
+
+// Fetch reads a row without access control — the replication layer's
+// read, symmetric to NewerThan/Digest which also bypass the ACL:
+// authorisation happened where the read request is served, not here.
+func (s *Space) Fetch(id string) (*Object, bool) { return s.store.Get(id) }
 
 // NewerThan returns objects the given digest has not fully seen — the
 // delta a peer with that digest needs.
@@ -516,6 +544,7 @@ func (s *Space) ApplyRemote(remote *Object) (changed, conflict bool, err error) 
 	if stored == nil {
 		return false, false, nil
 	}
+	s.tree.Update(stored.ID, stored.VV)
 	if conflictInfo != nil {
 		s.bump(func(st *SpaceStats) { st.Applied++; st.Conflicts++ })
 		s.notify(Event{

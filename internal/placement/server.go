@@ -3,6 +3,7 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 
 // Trading vocabulary of the placement subsystem: every site exports one
 // offer per space it hosts, and a non-placed site imports the type to
-// resolve a holder for a remote read.
+// resolve a holder for a remote read (or to forward a stranded write).
 const (
 	// ServiceType is the trader service type of placement offers.
 	ServiceType = "information-placement"
@@ -24,9 +25,19 @@ const (
 	SiteProp  = "site"
 	// MethodRead is the rpc method a holder serves remote reads on.
 	MethodRead = "placement.read"
+	// MethodWrite is the rpc method a holder accepts forwarded writes on:
+	// a Put that landed at a non-placed site routes the row to a placed
+	// holder instead of stranding a foreign copy until migration.
+	MethodWrite = "placement.write"
 	// DefaultReadTimeout bounds each holder attempt so a dead holder
 	// degrades the read to the next offer instead of consuming the caller.
 	DefaultReadTimeout = 800 * time.Millisecond
+	// DefaultFailureCooldown is how many subsequent resolutions skip (try
+	// last) a holder after a failed attempt, so one down holder does not
+	// tax the front of every read.
+	DefaultFailureCooldown = 4
+	// DefaultNegativeCacheSize bounds the negative-lookup cache.
+	DefaultNegativeCacheSize = 1024
 )
 
 // OfferID builds the deterministic trader offer id for a (site, space)
@@ -47,41 +58,82 @@ type readResp struct {
 	Object information.WireObject `json:"object"`
 }
 
-// ReadServerStats counts remote reads served by a holder.
+type writeReq struct {
+	Site   string                 `json:"site"`
+	Object information.WireObject `json:"object"`
+}
+
+type writeResp struct {
+	Site    string `json:"site"`
+	Applied bool   `json:"applied"`
+}
+
+// ReadServerStats counts remote reads and forwarded writes served by a
+// holder.
 type ReadServerStats struct {
 	Served int64 // reads answered with an object
 	Missed int64 // reads refused (unknown object or access denied)
+
+	WritesAccepted int64 // forwarded writes merged into the replica
+	WritesRefused  int64 // forwarded writes refused (not placed here)
 }
 
-// ReadServer serves MethodRead for one site: remote readers resolve this
-// site through the trader and read objects out of its replica. Access
+// ReadServerOption configures a ReadServer.
+type ReadServerOption func(*ReadServer)
+
+// WithHolderPolicy lets the server refuse forwarded writes of objects
+// this site is not placed for (the policy may have moved while the
+// forward was in flight). A nil policy accepts every forward.
+func WithHolderPolicy(p *Policy) ReadServerOption {
+	return func(s *ReadServer) { s.policy = p }
+}
+
+// ReadServer serves MethodRead and MethodWrite for one site: remote
+// readers resolve this site through the trader and read objects out of
+// its replica; non-placed writers forward stranded rows in. Access
 // control is the space's own — the shared ACL system means a grant made
 // anywhere is effective here too.
 type ReadServer struct {
-	site  string
-	space func() *information.Space
+	site   string
+	space  func() *information.Space
+	policy *Policy
 
 	mu    sync.Mutex
 	stats ReadServerStats
 }
 
-// NewReadServer registers the read handler on the endpoint. space is a
-// provider, not a pointer, because a crash/restart swaps the site's
-// replica: reads must always hit the current one.
-func NewReadServer(ep *rpc.Endpoint, site string, space func() *information.Space) *ReadServer {
+// NewReadServer registers the read and write handlers on the endpoint.
+// space is a provider, not a pointer, because a crash/restart swaps the
+// site's replica: reads must always hit the current one.
+func NewReadServer(ep *rpc.Endpoint, site string, space func() *information.Space, opts ...ReadServerOption) *ReadServer {
 	s := &ReadServer{site: site, space: space}
+	for _, opt := range opts {
+		opt(s)
+	}
 	ep.MustRegister(MethodRead, rpc.HandleJSON(func(_ netsim.Address, req readReq) (readResp, error) {
 		obj, err := s.space().Get(req.Actor, req.ObjectID)
 		if err != nil {
-			s.mu.Lock()
-			s.stats.Missed++
-			s.mu.Unlock()
+			s.bump(func(st *ReadServerStats) { st.Missed++ })
 			return readResp{}, err
 		}
-		s.mu.Lock()
-		s.stats.Served++
-		s.mu.Unlock()
+		s.bump(func(st *ReadServerStats) { st.Served++ })
 		return readResp{Site: s.site, Object: information.ToWire(obj)}, nil
+	}))
+	ep.MustRegister(MethodWrite, rpc.HandleJSON(func(_ netsim.Address, req writeReq) (writeResp, error) {
+		obj := information.FromWire(req.Object)
+		if s.policy != nil && s.policy.Selective() && !s.policy.PlacedAt(s.site, Describe(obj)) {
+			// The space moved again while the forward was in flight: the
+			// writer must keep its copy (or re-resolve).
+			s.bump(func(st *ReadServerStats) { st.WritesRefused++ })
+			return writeResp{}, fmt.Errorf("placement: site %q not placed for %q", s.site, obj.ID)
+		}
+		changed, _, err := s.space().ApplyRemote(obj)
+		if err != nil {
+			s.bump(func(st *ReadServerStats) { st.WritesRefused++ })
+			return writeResp{}, err
+		}
+		s.bump(func(st *ReadServerStats) { st.WritesAccepted++ })
+		return writeResp{Site: s.site, Applied: changed}, nil
 	}))
 	return s
 }
@@ -93,12 +145,25 @@ func (s *ReadServer) Stats() ReadServerStats {
 	return s.stats
 }
 
-// ReaderStats counts remote reads issued by a non-placed site.
+func (s *ReadServer) bump(fn func(*ReadServerStats)) {
+	s.mu.Lock()
+	fn(&s.stats)
+	s.mu.Unlock()
+}
+
+// ReaderStats counts remote resolutions issued by a non-placed site.
 type ReaderStats struct {
 	Reads    int64 // read-throughs attempted
 	Served   int64 // read-throughs satisfied by some holder
 	Attempts int64 // per-holder rpc attempts (retries across offers)
 	NoHolder int64 // read-throughs that exhausted every offer
+
+	NegativeHits   int64 // reads short-circuited by the negative cache
+	NegativeStores int64 // definitive misses recorded in the cache
+	SkippedHolders int64 // recently-failed holders deferred to the scan tail
+
+	Forwards  int64 // write forwards attempted
+	Forwarded int64 // write forwards a holder accepted
 }
 
 // ReaderOption configures a Reader.
@@ -109,25 +174,78 @@ func WithReadTimeout(d time.Duration) ReaderOption {
 	return func(r *Reader) { r.timeout = d }
 }
 
-// Reader performs trader-mediated remote reads for one site: it imports
-// the placement offers, skips its own, and interrogates holders in
-// deterministic offer order until one serves the object. This is the
-// engineering half of location transparency — with the transparency
-// selected, SiteEnv.Get makes a non-placed site look like it holds
-// everything; deselecting it surfaces which holder actually served.
+// WithNegativeCache enables the negative-lookup cache scoped by the
+// policy's version: a read that every reachable holder refused with
+// "unknown object" (not a timeout, not an access denial) is remembered,
+// so repeated reads of a missing id stop walking the trader offers. Any
+// policy change, or any local/applied write at THIS site signalled
+// through Bump, flushes the cache. Writes at other sites the policy
+// keeps away from this replica do not reach Bump — an id that springs
+// into existence remotely stays a cached miss until the next local
+// write, policy change, or cache eviction; the cache trades that
+// staleness window for not walking every offer on every repeated miss.
+func WithNegativeCache(p *Policy) ReaderOption {
+	return func(r *Reader) { r.policy = p }
+}
+
+// WithNegativeCacheSize bounds the cache (default
+// DefaultNegativeCacheSize); 0 keeps the default.
+func WithNegativeCacheSize(n int) ReaderOption {
+	return func(r *Reader) {
+		if n > 0 {
+			r.negCap = n
+		}
+	}
+}
+
+// WithFailureCooldown sets for how many subsequent resolutions a failed
+// holder is deferred to the tail of the scan (default
+// DefaultFailureCooldown); 0 disables the deferral.
+func WithFailureCooldown(n int) ReaderOption {
+	return func(r *Reader) { r.cooldown = n }
+}
+
+// negEntry scopes one cached miss: valid only while both the policy
+// version and the local write generation are unchanged.
+type negEntry struct {
+	policyVer uint64
+	gen       uint64
+}
+
+// Reader performs trader-mediated remote resolutions for one site:
+// reads of objects the local replica does not hold, and forwards of
+// writes the site is not placed for. Holders are tried in deterministic
+// offer order, except that recently-failed holders are deferred to the
+// tail of the scan — a down first holder stops taxing every read — and
+// definitive misses are negative-cached under the policy version.
 type Reader struct {
-	ep      *rpc.Endpoint
-	trading *trader.Trader
-	site    string
-	timeout time.Duration
+	ep       *rpc.Endpoint
+	trading  *trader.Trader
+	site     string
+	timeout  time.Duration
+	policy   *Policy // enables the negative cache when set
+	negCap   int
+	cooldown int
 
 	mu    sync.Mutex
 	stats ReaderStats
+	neg   map[string]negEntry
+	gen   uint64 // bumped by Bump (local/applied writes at this site)
+	fails map[netsim.Address]int
 }
 
 // NewReader builds a reader resolving holders through the given trader.
 func NewReader(ep *rpc.Endpoint, trading *trader.Trader, site string, opts ...ReaderOption) *Reader {
-	r := &Reader{ep: ep, trading: trading, site: site, timeout: DefaultReadTimeout}
+	r := &Reader{
+		ep:       ep,
+		trading:  trading,
+		site:     site,
+		timeout:  DefaultReadTimeout,
+		negCap:   DefaultNegativeCacheSize,
+		cooldown: DefaultFailureCooldown,
+		neg:      make(map[string]negEntry),
+		fails:    make(map[netsim.Address]int),
+	}
 	for _, opt := range opts {
 		opt(r)
 	}
@@ -141,47 +259,249 @@ func (r *Reader) Stats() ReaderStats {
 	return r.stats
 }
 
-// Read resolves the object through the trader and reads it from the
-// first holder that answers, returning the object and the serving site.
-// Holders are tried in offer-id order (deterministic); a holder that is
-// down or does not have the object degrades the read to the next offer.
-// When every offer is exhausted the error wraps ErrNoHolder and carries
-// the last holder failure — the useful message for "the sole holder is
-// down".
-func (r *Reader) Read(actor, objID string) (*information.Object, string, error) {
-	r.bump(func(s *ReaderStats) { s.Reads++ })
+// Bump invalidates the negative cache: a write landed on (or was applied
+// to, or evicted from) this site's replica, so cached misses may be
+// stale. The deployment layer wires this to the site space's events.
+func (r *Reader) Bump() {
+	r.mu.Lock()
+	r.gen++
+	r.mu.Unlock()
+}
+
+// negHit reports whether a definitive miss for objID is cached and still
+// valid under the current policy version and write generation.
+func (r *Reader) negHit(objID string) bool {
+	if r.policy == nil {
+		return false
+	}
+	pv := r.policy.Version()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.neg[objID]
+	if !ok {
+		return false
+	}
+	if e.policyVer != pv || e.gen != r.gen {
+		delete(r.neg, objID)
+		return false
+	}
+	r.stats.NegativeHits++
+	return true
+}
+
+// negStore records a definitive miss, evicting an arbitrary entry when
+// the cache is full (entries are equally cheap to recompute).
+func (r *Reader) negStore(objID string) {
+	if r.policy == nil {
+		return
+	}
+	pv := r.policy.Version()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.neg) >= r.negCap {
+		for k := range r.neg {
+			delete(r.neg, k)
+			break
+		}
+	}
+	r.neg[objID] = negEntry{policyVer: pv, gen: r.gen}
+	r.stats.NegativeStores++
+}
+
+// holderOrder partitions the candidate providers into fresh holders (in
+// the given deterministic order) followed by recently-failed ones — the
+// rotation that keeps a down holder off the front of the scan while the
+// full scan remains the fallback. Each deferral consumes one unit of the
+// holder's cooldown.
+func (r *Reader) holderOrder(providers []netsim.Address) []netsim.Address {
+	if r.cooldown <= 0 {
+		return providers
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var fresh, cooled []netsim.Address
+	for _, p := range providers {
+		if left := r.fails[p]; left > 0 {
+			r.fails[p] = left - 1
+			if r.fails[p] == 0 {
+				delete(r.fails, p)
+			}
+			cooled = append(cooled, p)
+			r.stats.SkippedHolders++
+			continue
+		}
+		fresh = append(fresh, p)
+	}
+	return append(fresh, cooled...)
+}
+
+// noteFailure puts a holder on cooldown; noteSuccess clears it.
+func (r *Reader) noteFailure(p netsim.Address) {
+	if r.cooldown <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.fails[p] = r.cooldown
+	r.mu.Unlock()
+}
+
+func (r *Reader) noteSuccess(p netsim.Address) {
+	r.mu.Lock()
+	delete(r.fails, p)
+	r.mu.Unlock()
+}
+
+// providers imports the placement offers and returns the candidate
+// provider addresses in deterministic offer order, excluding this site
+// and (when sites is non-nil) any site outside the set, de-duplicated.
+func (r *Reader) providers(actor string, sites []string) ([]netsim.Address, error) {
 	offers, err := r.trading.Import(trader.ImportRequest{ServiceType: ServiceType, Importer: actor})
 	if err != nil {
-		return nil, "", fmt.Errorf("placement: resolve %q: %w", objID, err)
+		return nil, err
+	}
+	var allowed map[string]bool
+	if sites != nil {
+		allowed = make(map[string]bool, len(sites))
+		for _, s := range sites {
+			allowed[s] = true
+		}
 	}
 	// One attempt per provider: several hosted spaces share a read
 	// endpoint, and the reader cannot map an unknown id to a space.
-	tried := make(map[netsim.Address]bool, len(offers))
-	var lastErr error
-	attempts := 0
+	seen := make(map[netsim.Address]bool, len(offers))
+	var out []netsim.Address
 	for _, o := range offers {
-		if o.Properties.First(SiteProp) == r.site || tried[o.Provider] {
+		site := o.Properties.First(SiteProp)
+		if site == r.site || seen[o.Provider] {
 			continue
 		}
-		tried[o.Provider] = true
+		if allowed != nil && !allowed[site] {
+			continue
+		}
+		seen[o.Provider] = true
+		out = append(out, o.Provider)
+	}
+	return out, nil
+}
+
+// Read resolves the object through the trader and reads it from the
+// first holder that answers, returning the object and the serving site.
+// Holders are tried in offer-id order (deterministic), with
+// recently-failed holders deferred to the tail; a holder that is down or
+// does not have the object degrades the read to the next one. When every
+// offer is exhausted the error wraps ErrNoHolder and carries the last
+// holder failure — the useful message for "the sole holder is down".
+// Misses every holder definitively refused are negative-cached (see
+// WithNegativeCache) so the next read of the same id is immediate.
+func (r *Reader) Read(actor, objID string) (*information.Object, string, error) {
+	r.bump(func(s *ReaderStats) { s.Reads++ })
+	if r.negHit(objID) {
+		return nil, "", fmt.Errorf("%w for object %q (site %s, cached miss)", ErrNoHolder, objID, r.site)
+	}
+	candidates, err := r.providers(actor, nil)
+	if err != nil {
+		return nil, "", fmt.Errorf("placement: resolve %q: %w", objID, err)
+	}
+	var lastErr error
+	attempts, definitive := 0, 0
+	for _, provider := range r.holderOrder(candidates) {
 		attempts++
 		r.bump(func(s *ReaderStats) { s.Attempts++ })
 		var resp readResp
-		if err := r.ep.CallJSON(o.Provider, MethodRead, readReq{Actor: actor, ObjectID: objID}, &resp,
+		if err := r.ep.CallJSON(provider, MethodRead, readReq{Actor: actor, ObjectID: objID}, &resp,
 			rpc.CallTimeout(r.timeout)); err != nil {
+			var re *rpc.RemoteError
+			if errors.As(err, &re) {
+				// The holder answered, so it is healthy. Only an
+				// unknown-object refusal is a definitive miss: an
+				// access-denied answer is about THIS actor's grants, and
+				// caching it would block every other actor's reads of a
+				// row the holder does serve.
+				if strings.Contains(re.Msg, information.ErrUnknownObject.Error()) {
+					definitive++
+				}
+				r.noteSuccess(provider)
+			} else {
+				r.noteFailure(provider)
+			}
 			lastErr = err
 			continue
 		}
+		r.noteSuccess(provider)
 		r.bump(func(s *ReaderStats) { s.Served++ })
 		return information.FromWire(resp.Object), resp.Site, nil
 	}
 	r.bump(func(s *ReaderStats) { s.NoHolder++ })
+	if attempts > 0 && definitive == attempts {
+		// Every holder was reached and none has the object: the miss is a
+		// property of the information space, cacheable until something
+		// writes or the policy moves.
+		r.negStore(objID)
+	}
 	if lastErr != nil {
 		return nil, "", fmt.Errorf("%w for object %q (site %s tried %d holders, last error: %v)",
 			ErrNoHolder, objID, r.site, attempts, lastErr)
 	}
 	return nil, "", fmt.Errorf("%w for object %q (site %s found %d placement offers)",
-		ErrNoHolder, objID, r.site, len(offers))
+		ErrNoHolder, objID, r.site, len(candidates))
+}
+
+// Forward routes a write that landed at this (non-placed) site to a
+// placed holder, trader-resolved like a read-through but asynchronous —
+// it is called from write-event callbacks under the simulated clock and
+// must not block. Holders placed for the object are tried in the same
+// failure-aware order as reads; done receives the accepting site, or an
+// error wrapping ErrNoHolder when no placed holder is reachable (the
+// caller then keeps its foreign copy — forwarding never destroys the
+// only copy).
+func (r *Reader) Forward(obj *information.Object, pl Placement, done func(site string, err error)) {
+	if done == nil {
+		done = func(string, error) {}
+	}
+	r.bump(func(s *ReaderStats) { s.Forwards++ })
+	sites := pl.Sites
+	if pl.Everywhere {
+		sites = nil // any holder will do
+	}
+	candidates, err := r.providers(obj.Owner, sites)
+	if err != nil {
+		done("", fmt.Errorf("placement: forward %q: %w", obj.ID, err))
+		return
+	}
+	ordered := r.holderOrder(candidates)
+	req := writeReq{Site: r.site, Object: information.ToWire(obj)}
+	var attempt func(i int, lastErr error)
+	attempt = func(i int, lastErr error) {
+		if i >= len(ordered) {
+			if lastErr != nil {
+				done("", fmt.Errorf("%w for forwarded write %q (site %s tried %d holders, last error: %v)",
+					ErrNoHolder, obj.ID, r.site, len(ordered), lastErr))
+			} else {
+				done("", fmt.Errorf("%w for forwarded write %q (site %s found no placed holder)",
+					ErrNoHolder, obj.ID, r.site))
+			}
+			return
+		}
+		provider := ordered[i]
+		r.bump(func(s *ReaderStats) { s.Attempts++ })
+		r.ep.GoJSON(provider, MethodWrite, req, func(res rpc.Result) {
+			var resp writeResp
+			if err := res.Decode(&resp); err != nil {
+				var re *rpc.RemoteError
+				if errors.As(err, &re) {
+					r.noteSuccess(provider) // reachable, just refused
+				} else {
+					r.noteFailure(provider)
+				}
+				attempt(i+1, err)
+				return
+			}
+			r.noteSuccess(provider)
+			r.bump(func(s *ReaderStats) { s.Forwarded++ })
+			done(resp.Site, nil)
+		}, rpc.CallTimeout(r.timeout))
+	}
+	attempt(0, nil)
 }
 
 func (r *Reader) bump(fn func(*ReaderStats)) {

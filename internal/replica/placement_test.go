@@ -82,16 +82,19 @@ func TestPlacementScopedSync(t *testing.T) {
 		t.Fatalf("s2 holds %d rows, want 1", n)
 	}
 
-	// The savings are observable without packet inspection.
+	// The savings are observable without packet inspection. Under the
+	// Merkle negotiation the placement cut is structural — rows stay out
+	// of the per-peer digest trees (ScopeFiltered) — while the legacy
+	// counters still cover the full-digest fallback path.
 	var filtered int64
 	for _, r := range f.reps {
 		s := r.Stats()
-		filtered += s.FilteredDeltas + s.FilteredPushes
+		filtered += s.FilteredDeltas + s.FilteredPushes + s.ScopeFiltered
 	}
 	if filtered == 0 {
 		t.Fatal("no filtering recorded in stats")
 	}
-	if s := f.reps[0].Stats(); s.DigestEntriesSent == 0 || s.LastRoundDigestEntries == 0 {
+	if s := f.reps[0].Stats(); s.MerkleExchanges == 0 || s.DigestBytes == 0 || s.LastRoundDigestBytes == 0 {
 		t.Fatalf("digest stats missing: %+v", s)
 	}
 }

@@ -1,7 +1,20 @@
 // Package replica makes the information model genuinely multi-site: each
 // site hosts its own information.Space replica, and Replicators keep the
-// replicas convergent with a push-pull anti-entropy protocol (digest
-// exchange → delta pull → apply) run as an rpc service.
+// replicas convergent with a push-pull anti-entropy protocol run as an
+// rpc service.
+//
+// Digest exchange is a Merkle negotiation, not a full-digest ship: each
+// round opens with a root-hash compare over the space's incremental
+// digest tree (information.DigestTree) plus per-site high-water marks.
+// A converged pair exchanges one tiny message; a divergent pair first
+// repairs whatever the high-water marks explain (the single-writer fast
+// path), then descends only the mismatched subtrees and exchanges
+// id→version-vector digests for the divergent leaves alone — so digest
+// bytes are O(1) when converged and O(log n · changed) when not, instead
+// of O(n) every round. A peer that does not speak the negotiation (old
+// binary, or one built WithFullDigest) is detected on the first round
+// and served through the original full-digest exchange, which remains
+// the wire-compatible fallback.
 //
 // Because every exchange is an rpc interrogation, sync traffic traverses
 // the engineering channel stack like all other traffic in the repository:
@@ -25,7 +38,9 @@
 package replica
 
 import (
+	"errors"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +49,7 @@ import (
 	"mocca/internal/placement"
 	"mocca/internal/rpc"
 	"mocca/internal/vclock"
+	"mocca/internal/wire"
 )
 
 // RPC method names of the anti-entropy protocol.
@@ -41,10 +57,18 @@ const (
 	// MethodSync is the digest exchange: the caller sends its digest, the
 	// peer answers with its own digest plus every object the caller has
 	// not fully seen (the delta pull, folded into the same interrogation).
+	// With a Scope, both digests cover only the named Merkle leaf buckets
+	// — the final, narrow step of a digest negotiation; without one it is
+	// the legacy full-digest exchange.
 	MethodSync = "replica.sync"
 	// MethodPush delivers objects the caller holds that the peer's digest
 	// had not seen — the push half that lets one round converge a pair.
 	MethodPush = "replica.push"
+	// MethodDigest is the Merkle negotiation: the caller offers tree-node
+	// frames (root first), the peer answers with the children of every
+	// frame that mismatches its own tree — plus, on the opening frame,
+	// its high-water marks and the rows the caller's marks prove missing.
+	MethodDigest = "replica.digest"
 )
 
 // Tunables.
@@ -69,6 +93,11 @@ func fromWire(w wireObject) *information.Object { return information.FromWire(w)
 type syncReq struct {
 	Site   string                    `json:"site"`
 	Digest map[string]vclock.Version `json:"digest"`
+	// Scope restricts the exchange to the named Merkle leaf buckets: the
+	// digest covers only rows filed under them and the responder answers
+	// with its own scoped digest and deltas. Empty means the legacy
+	// full-digest exchange over the whole id space.
+	Scope []uint32 `json:"scope,omitempty"`
 }
 
 type syncResp struct {
@@ -94,6 +123,35 @@ type pushReq struct {
 	// Relations rides along on migration pushes only; ordinary sync
 	// pushes leave it empty.
 	Relations []wireRelation `json:"relations,omitempty"`
+}
+
+// digestReq opens or continues a Merkle digest negotiation. Frames is a
+// wire.AppendTreeFrames encoding of the caller's tree nodes at the
+// current frontier (the root on the opening call). HW carries the
+// caller's per-site high-water marks on the opening call only.
+type digestReq struct {
+	Site   string `json:"site"`
+	Frames []byte `json:"frames"`
+	// HW is present (possibly empty, but non-nil) exactly on the opening
+	// call — deliberately NOT omitempty, because an empty-replica caller
+	// sends an empty map and still needs the responder's marks and
+	// fast-path deltas (the bulk late-join repair). A nil HW marks a
+	// follow-up step (verify/descent).
+	HW map[string]uint64 `json:"hw"`
+}
+
+// digestResp answers a negotiation step: Match reports that every
+// offered frame agreed; otherwise Frames carries the responder's
+// children of each mismatched internal node. On the opening call the
+// responder also returns its high-water marks and — when the roots
+// differ — the rows the caller's marks prove it has never seen (the
+// fast-path delta, placement-scoped like any other delta).
+type digestResp struct {
+	Site   string            `json:"site"`
+	Match  bool              `json:"match"`
+	Frames []byte            `json:"frames,omitempty"`
+	HW     map[string]uint64 `json:"hw,omitempty"`
+	Deltas []wireObject      `json:"deltas,omitempty"`
 }
 
 type pushResp struct {
@@ -128,9 +186,27 @@ type Stats struct {
 	Migrated          int64 // rows pushed off this replica by migration
 	Evicted           int64 // rows dropped locally after migration
 
+	// Merkle negotiation counters. DigestBytes is the digest payload cost
+	// this replicator initiated, both directions: tree frames, high-water
+	// maps and id→version-vector entries (full or scoped) — data deltas
+	// and pushes are not digest bytes. ConvergedRoots counts opening root
+	// compares that matched outright (the O(1) converged round).
+	MerkleExchanges int64 // peer exchanges that ran the digest negotiation
+	LegacyExchanges int64 // peer exchanges that used the full-digest path
+	ConvergedRoots  int64 // opening root compares that matched
+	DescentCalls    int64 // subtree-descent negotiation steps sent
+	HWFastDeltas    int64 // rows repaired straight off the high-water marks
+	DigestBytes     int64 // digest payload bytes exchanged (sent + received)
+	// ScopeFiltered is a gauge, not a counter: the rows placement is
+	// currently keeping out of the cached per-peer digest trees (summed
+	// over peers), recomputed at each Stats snapshot.
+	ScopeFiltered int64
+
 	// Per-round observability: the last completed round's digest size and
 	// data movement (sum over its peer exchanges).
 	LastRoundDigestEntries int
+	LastRoundDigestBytes   int
+	LastRoundDescentDepth  int
 	LastRoundDeltas        int
 	LastRoundPushed        int
 }
@@ -158,6 +234,16 @@ func WithPlacement(p *placement.Policy) Option {
 	return func(r *Replicator) { r.policy = p }
 }
 
+// WithFullDigest disables the Merkle digest negotiation entirely: the
+// replicator neither initiates it nor serves MethodDigest, behaving like
+// a pre-negotiation binary. Peers detect the missing method on their
+// first round and fall back to the full-digest exchange — this option
+// exists for that compatibility path (and for measuring the negotiation
+// against the O(n) baseline it replaces).
+func WithFullDigest() Option {
+	return func(r *Replicator) { r.fullDigest = true }
+}
+
 // peer is one sync partner: its address plus (when known) its site name,
 // which is what placement filters the push half by.
 type peer struct {
@@ -165,19 +251,32 @@ type peer struct {
 	site string
 }
 
+// scopedTree caches a placement-scoped digest tree toward one peer site,
+// tagged with the full tree's generation and the policy version it was
+// built under so any local commit or policy change invalidates it.
+type scopedTree struct {
+	tree      *information.DigestTree
+	gen       uint64
+	policyVer uint64
+	excluded  int64 // rows placement kept out of this tree at build time
+}
+
 // Replicator binds one Space replica to the network: it serves the
 // anti-entropy protocol for peers and initiates its own sync rounds
 // against the configured peer set.
 type Replicator struct {
-	ep      *rpc.Endpoint
-	clock   vclock.Clock
-	space   *information.Space
-	site    string
-	timeout time.Duration
-	policy  *placement.Policy
+	ep         *rpc.Endpoint
+	clock      vclock.Clock
+	space      *information.Space
+	site       string
+	timeout    time.Duration
+	policy     *placement.Policy
+	fullDigest bool
 
 	mu             sync.Mutex
 	peers          []peer
+	legacyPeers    map[netsim.Address]bool // peers that don't serve MethodDigest
+	scoped         map[string]scopedTree   // per-peer-site placement-scoped trees
 	interval       time.Duration
 	failureCap     int
 	auto           bool
@@ -194,13 +293,15 @@ type Replicator struct {
 // and takes the replica's site name from the space.
 func New(ep *rpc.Endpoint, clock vclock.Clock, space *information.Space, opts ...Option) *Replicator {
 	r := &Replicator{
-		ep:         ep,
-		clock:      clock,
-		space:      space,
-		site:       space.Site(),
-		timeout:    DefaultSyncTimeout,
-		interval:   DefaultInterval,
-		failureCap: DefaultFailureCap,
+		ep:          ep,
+		clock:       clock,
+		space:       space,
+		site:        space.Site(),
+		timeout:     DefaultSyncTimeout,
+		interval:    DefaultInterval,
+		failureCap:  DefaultFailureCap,
+		legacyPeers: make(map[netsim.Address]bool),
+		scoped:      make(map[string]scopedTree),
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -218,11 +319,17 @@ func (r *Replicator) Space() *information.Space { return r.space }
 // Addr returns the network address sync traffic originates from.
 func (r *Replicator) Addr() netsim.Address { return r.ep.Addr() }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. ScopeFiltered is computed
+// here as a gauge over the cached per-peer trees.
 func (r *Replicator) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	out := r.stats
+	out.ScopeFiltered = 0
+	for _, c := range r.scoped {
+		out.ScopeFiltered += c.excluded
+	}
+	return out
 }
 
 // AddPeer adds a peer replicator's address to the sync set with no site
@@ -331,6 +438,8 @@ type roundState struct {
 	moved         bool // any delta applied or pushed
 	failures      int  // peers that could not be exchanged with
 	digestEntries int  // digest entries shipped across the round's requests
+	digestBytes   int  // digest payload bytes exchanged across the round
+	descentDepth  int  // deepest subtree descent any peer exchange needed
 	applied       int  // deltas merged in across the round
 	pushed        int  // objects pushed across the round
 }
@@ -354,7 +463,9 @@ func (r *Replicator) fire() {
 }
 
 // syncPeer exchanges with peers[i] and chains to the next peer; exchanges
-// run sequentially in sorted order so rounds are deterministic.
+// run sequentially in sorted order so rounds are deterministic. The
+// Merkle negotiation is the default; peers known not to serve it (and
+// replicators built WithFullDigest) take the legacy full-digest path.
 func (r *Replicator) syncPeer(peers []peer, i int, st roundState) {
 	if i >= len(peers) {
 		r.roundDone(st)
@@ -362,10 +473,28 @@ func (r *Replicator) syncPeer(peers []peer, i int, st roundState) {
 	}
 	p := peers[i]
 	next := func(st roundState) { r.syncPeer(peers, i+1, st) }
+	r.mu.Lock()
+	legacy := r.fullDigest || r.legacyPeers[p.addr]
+	r.mu.Unlock()
+	if legacy {
+		r.legacySync(p, st, next)
+		return
+	}
+	(&merkleExchange{r: r, p: p, st: st, next: next}).open()
+}
 
+// legacySync is the original full-digest exchange: ship the whole
+// id→version-vector digest, pull deltas, push what the peer's digest had
+// not seen. It remains the path peers without MethodDigest converge by.
+func (r *Replicator) legacySync(p peer, st roundState, next func(roundState)) {
+	r.bump(func(s *Stats) { s.LegacyExchanges++ })
 	digest := r.space.Digest()
 	st.digestEntries += len(digest)
-	r.bump(func(s *Stats) { s.DigestEntriesSent += int64(len(digest)) })
+	st.digestBytes += digestMapBytes(digest)
+	r.bump(func(s *Stats) {
+		s.DigestEntriesSent += int64(len(digest))
+		s.DigestBytes += int64(digestMapBytes(digest))
+	})
 	r.ep.GoJSON(p.addr, MethodSync, syncReq{Site: r.site, Digest: digest}, func(res rpc.Result) {
 		var resp syncResp
 		if err := res.Decode(&resp); err != nil {
@@ -374,26 +503,9 @@ func (r *Replicator) syncPeer(peers []peer, i int, st roundState) {
 			next(st)
 			return
 		}
-		applied := 0
-		for _, w := range resp.Deltas {
-			obj := fromWire(w)
-			if !r.placedAt(r.site, obj) {
-				// The peer offered an object of a space this site is no
-				// longer placed in (e.g. de-placed mid-sync).
-				r.bump(func(s *Stats) { s.RefusedApplies++ })
-				continue
-			}
-			changed, conflict, err := r.space.ApplyRemote(obj)
-			if err != nil {
-				continue
-			}
-			if changed {
-				applied++
-			}
-			if conflict {
-				r.bump(func(s *Stats) { s.Conflicts++ })
-			}
-		}
+		st.digestBytes += digestMapBytes(resp.Digest)
+		r.bump(func(s *Stats) { s.DigestBytes += int64(digestMapBytes(resp.Digest)) })
+		applied := r.applyDeltas(resp.Deltas)
 		r.bump(func(s *Stats) { s.PeerSyncs++; s.Applied += int64(applied) })
 		st.applied += applied
 		if applied > 0 {
@@ -455,6 +567,8 @@ func (r *Replicator) roundDone(st roundState) {
 	r.mu.Lock()
 	r.running = false
 	r.stats.LastRoundDigestEntries = st.digestEntries
+	r.stats.LastRoundDigestBytes = st.digestBytes
+	r.stats.LastRoundDescentDepth = st.descentDepth
 	r.stats.LastRoundDeltas = st.applied
 	r.stats.LastRoundPushed = st.pushed
 	if st.failures > 0 {
@@ -482,11 +596,397 @@ func (r *Replicator) bump(fn func(*Stats)) {
 	r.mu.Unlock()
 }
 
-// register installs the protocol handlers. Both are pure local compute,
+// applyDeltas merges peer-supplied rows into the local replica, refusing
+// rows this site is not placed for; returns how many changed local state.
+func (r *Replicator) applyDeltas(deltas []wireObject) (applied int) {
+	for _, w := range deltas {
+		obj := fromWire(w)
+		if !r.placedAt(r.site, obj) {
+			// The peer offered an object of a space this site is no
+			// longer placed in (e.g. de-placed mid-sync).
+			r.bump(func(s *Stats) { s.RefusedApplies++ })
+			continue
+		}
+		changed, conflict, err := r.space.ApplyRemote(obj)
+		if err != nil {
+			continue
+		}
+		if changed {
+			applied++
+		}
+		if conflict {
+			r.bump(func(s *Stats) { s.Conflicts++ })
+		}
+	}
+	return applied
+}
+
+// treeFor returns the digest tree this replicator compares with the
+// named peer site: the space's own incremental tree when placement is
+// non-selective (or the peer is untagged), otherwise a cached tree
+// scoped to the rows placed at that site — the per-peer view that lets
+// partially-replicated pairs compare equal once converged. The cache is
+// invalidated by any local commit (full-tree generation) or policy
+// change (policy version), and a rebuild scans the whole store: under
+// selective placement with steady writes that is O(rows) CPU per peer
+// per changed round, local work traded for the O(1)/O(log n) wire cost
+// the negotiation is about. Incremental per-peer maintenance (fanning
+// commits out to the scoped trees) is the known next step if that scan
+// ever shows up in profiles (see ROADMAP).
+func (r *Replicator) treeFor(site string) *information.DigestTree {
+	full := r.space.Tree()
+	if r.policy == nil || site == "" || !r.policy.Selective() {
+		return full
+	}
+	gen, pv := full.Generation(), r.policy.Version()
+	r.mu.Lock()
+	if c, ok := r.scoped[site]; ok && c.gen == gen && c.policyVer == pv {
+		r.mu.Unlock()
+		return c.tree
+	}
+	r.mu.Unlock()
+	t := information.NewDigestTree()
+	excluded := int64(0)
+	r.space.Range(func(o *information.Object) bool {
+		if r.policy.PlacedAt(site, placement.Describe(o)) {
+			t.Update(o.ID, o.VV)
+		} else {
+			excluded++
+		}
+		return true
+	})
+	r.mu.Lock()
+	r.scoped[site] = scopedTree{tree: t, gen: gen, policyVer: pv, excluded: excluded}
+	r.mu.Unlock()
+	return t
+}
+
+// newerThanHW resolves the tree's past-high-water ids to placement-scoped
+// rows — what a replica with those marks has certainly never seen.
+func (r *Replicator) newerThanHW(tree *information.DigestTree, hw map[string]uint64, peerSite string) []*information.Object {
+	var out []*information.Object
+	for _, id := range tree.NewerThanHW(hw) {
+		obj, ok := r.space.Fetch(id)
+		if !ok || !r.placedAt(peerSite, obj) {
+			continue
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+// The digest-byte counters measure the canonical binary size of digest
+// payloads (tree frames, high-water maps, id→version-vector entries) —
+// a codec-independent yardstick for comparing digest schemes. Data
+// deltas and pushes are never digest bytes.
+
+func vvBytes(vv vclock.Version) int {
+	n := 8
+	for s := range vv {
+		n += len(s) + 12
+	}
+	return n
+}
+
+func digestMapBytes(d map[string]vclock.Version) int {
+	n := 8
+	for id, vv := range d {
+		n += len(id) + 4 + vvBytes(vv)
+	}
+	return n
+}
+
+func hwBytes(hw map[string]uint64) int {
+	n := 8
+	for s := range hw {
+		n += len(s) + 12
+	}
+	return n
+}
+
+// isNoSuchMethod detects the fallback signal: the peer's endpoint does
+// not register MethodDigest, so it predates the Merkle negotiation.
+func isNoSuchMethod(err error) bool {
+	var re *rpc.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "no such method")
+}
+
+// --- Merkle digest negotiation (caller side) -------------------------------
+
+// merkleExchange drives one peer exchange through the digest
+// negotiation: root compare (+ high-water fast path) → optional verify →
+// subtree descent → scoped digest exchange over the divergent leaves.
+type merkleExchange struct {
+	r         *Replicator
+	p         peer
+	st        roundState
+	next      func(roundState)
+	depth     int      // descent steps taken
+	divergent []uint32 // divergent leaf buckets found
+}
+
+func (m *merkleExchange) fail() {
+	m.r.bump(func(s *Stats) { s.PeerFailures++ })
+	m.st.failures++
+	m.next(m.st)
+}
+
+func (m *merkleExchange) finish(synced bool) {
+	if synced {
+		m.r.bump(func(s *Stats) { s.PeerSyncs++ })
+	}
+	m.next(m.st)
+}
+
+// count records digest payload bytes for this exchange, both directions.
+func (m *merkleExchange) count(n int) {
+	m.st.digestBytes += n
+	m.r.bump(func(s *Stats) { s.DigestBytes += int64(n) })
+}
+
+// open sends the root frame plus high-water marks. A matching root ends
+// the exchange at one tiny message pair — the converged steady state.
+func (m *merkleExchange) open() {
+	r := m.r
+	r.bump(func(s *Stats) { s.MerkleExchanges++ })
+	tree := r.treeFor(m.p.site)
+	frames := wire.AppendTreeFrames(nil, []wire.TreeFrame{{Path: wire.PackTreePath(0, 0), Hash: tree.Root()}})
+	hw := tree.HighWater()
+	m.count(len(frames) + hwBytes(hw))
+	r.ep.GoJSON(m.p.addr, MethodDigest, digestReq{Site: r.site, Frames: frames, HW: hw}, func(res rpc.Result) {
+		var resp digestResp
+		if err := res.Decode(&resp); err != nil {
+			if isNoSuchMethod(err) {
+				// The peer predates the negotiation: remember that and
+				// converge via the full-digest path, now and from then on.
+				r.mu.Lock()
+				r.legacyPeers[m.p.addr] = true
+				r.mu.Unlock()
+				r.legacySync(m.p, m.st, m.next)
+				return
+			}
+			m.fail()
+			return
+		}
+		m.count(len(resp.Frames) + hwBytes(resp.HW))
+		if m.p.site == "" && resp.Site != "" {
+			// An untagged peer introduced itself: future rounds can scope
+			// placement (and trees) by its site.
+			r.AddPeerNamed(resp.Site, m.p.addr)
+			m.p.site = resp.Site
+		}
+		if resp.Match {
+			r.bump(func(s *Stats) { s.ConvergedRoots++ })
+			m.finish(true)
+			return
+		}
+		// High-water fast path: merge the rows the peer's marks prove we
+		// lack, push the rows our marks prove it lacks.
+		applied := r.applyDeltas(resp.Deltas)
+		if applied > 0 {
+			m.st.moved = true
+			m.st.applied += applied
+			r.bump(func(s *Stats) { s.HWFastDeltas += int64(applied); s.Applied += int64(applied) })
+		}
+		peerSite := resp.Site
+		if peerSite == "" {
+			peerSite = m.p.site
+		}
+		push := r.newerThanHW(tree, resp.HW, peerSite)
+		if len(push) == 0 {
+			if applied > 0 {
+				// State moved: one cheap root recompare before descending.
+				m.verify()
+			} else {
+				// Nothing the marks explain: descend from the root's
+				// children the mismatch response already carried.
+				m.descend(resp.Frames)
+			}
+			return
+		}
+		wires := make([]wireObject, len(push))
+		for i, obj := range push {
+			wires[i] = toWire(obj)
+		}
+		r.ep.GoJSON(m.p.addr, MethodPush, pushReq{Site: r.site, Objects: wires}, func(res rpc.Result) {
+			var pr pushResp
+			if err := res.Decode(&pr); err != nil {
+				m.fail()
+				return
+			}
+			r.bump(func(s *Stats) { s.Pushed += int64(len(wires)) })
+			m.st.pushed += len(wires)
+			if pr.Applied > 0 {
+				m.st.moved = true
+			}
+			m.verify()
+		}, rpc.CallTimeout(r.timeout))
+	}, rpc.CallTimeout(r.timeout))
+}
+
+// verify recompares roots after the fast path moved state; a mismatch
+// descends from the children the response carries.
+func (m *merkleExchange) verify() {
+	r := m.r
+	tree := r.treeFor(m.p.site)
+	frames := wire.AppendTreeFrames(nil, []wire.TreeFrame{{Path: wire.PackTreePath(0, 0), Hash: tree.Root()}})
+	m.count(len(frames))
+	r.ep.GoJSON(m.p.addr, MethodDigest, digestReq{Site: r.site, Frames: frames}, func(res rpc.Result) {
+		var resp digestResp
+		if err := res.Decode(&resp); err != nil {
+			m.fail()
+			return
+		}
+		m.count(len(resp.Frames))
+		if resp.Match {
+			m.finish(true)
+			return
+		}
+		m.descend(resp.Frames)
+	}, rpc.CallTimeout(r.timeout))
+}
+
+// descend compares the peer's frames against the local tree: mismatched
+// internal nodes form the next negotiation frontier, mismatched leaves
+// join the divergent set. An empty frontier ends the descent and moves
+// to the scoped digest exchange.
+func (m *merkleExchange) descend(framesEnc []byte) {
+	r := m.r
+	if len(framesEnc) == 0 {
+		// The peer reported no mismatched children — it may have
+		// converged mid-negotiation (a third replicator pushed it the
+		// missing state between steps). Close out over whatever
+		// divergent leaves were already found; none means done.
+		m.scopedSync(r.treeFor(m.p.site))
+		return
+	}
+	peerFrames, err := wire.DecodeTreeFrames(framesEnc)
+	if err != nil {
+		m.fail()
+		return
+	}
+	tree := r.treeFor(m.p.site)
+	var frontier []wire.TreeFrame
+	for _, f := range peerFrames {
+		level, index := wire.TreePathParts(f.Path)
+		local, ok := tree.NodeHash(level, index)
+		if !ok || local == f.Hash {
+			continue
+		}
+		if int(level) >= information.MerkleDepth {
+			m.divergent = append(m.divergent, index)
+			continue
+		}
+		frontier = append(frontier, wire.TreeFrame{Path: f.Path, Hash: local})
+	}
+	if len(frontier) == 0 || m.depth >= information.MerkleDepth {
+		m.scopedSync(tree)
+		return
+	}
+	m.depth++
+	if m.depth > m.st.descentDepth {
+		m.st.descentDepth = m.depth
+	}
+	enc := wire.AppendTreeFrames(nil, frontier)
+	m.count(len(enc))
+	r.bump(func(s *Stats) { s.DescentCalls++ })
+	r.ep.GoJSON(m.p.addr, MethodDigest, digestReq{Site: r.site, Frames: enc}, func(res rpc.Result) {
+		var resp digestResp
+		if err := res.Decode(&resp); err != nil {
+			m.fail()
+			return
+		}
+		m.count(len(resp.Frames))
+		if resp.Match {
+			// Every offered frame now agrees: the peer converged while
+			// the negotiation was in flight.
+			m.scopedSync(r.treeFor(m.p.site))
+			return
+		}
+		m.descend(resp.Frames)
+	}, rpc.CallTimeout(r.timeout))
+}
+
+// scopedSync runs the classic digest exchange narrowed to the divergent
+// leaf buckets: digest entries for O(changed) leaves instead of the
+// whole id space, then the usual delta apply and push.
+func (m *merkleExchange) scopedSync(tree *information.DigestTree) {
+	r := m.r
+	if len(m.divergent) == 0 {
+		// Hash descent found nothing concrete (e.g. the peer converged
+		// mid-negotiation): the exchange is over.
+		m.finish(true)
+		return
+	}
+	sort.Slice(m.divergent, func(i, j int) bool { return m.divergent[i] < m.divergent[j] })
+	digest := make(map[string]vclock.Version)
+	for _, b := range m.divergent {
+		for id, vv := range tree.LeafDigest(b) {
+			digest[id] = vv
+		}
+	}
+	m.st.digestEntries += len(digest)
+	m.count(digestMapBytes(digest))
+	r.bump(func(s *Stats) { s.DigestEntriesSent += int64(len(digest)) })
+	scope := append([]uint32(nil), m.divergent...)
+	r.ep.GoJSON(m.p.addr, MethodSync, syncReq{Site: r.site, Digest: digest, Scope: scope}, func(res rpc.Result) {
+		var resp syncResp
+		if err := res.Decode(&resp); err != nil {
+			m.fail()
+			return
+		}
+		m.count(digestMapBytes(resp.Digest))
+		applied := r.applyDeltas(resp.Deltas)
+		r.bump(func(s *Stats) { s.Applied += int64(applied) })
+		m.st.applied += applied
+		if applied > 0 {
+			m.st.moved = true
+		}
+		// Push half: our rows in the divergent buckets the peer's scoped
+		// digest has not fully seen. The tree is already scoped to the
+		// peer's placement interest, so no further filtering is needed.
+		var push []*information.Object
+		for id, vv := range digest {
+			if seen, ok := resp.Digest[id]; ok && seen.Dominates(vv) {
+				continue
+			}
+			if obj, ok := r.space.Fetch(id); ok {
+				push = append(push, obj)
+			}
+		}
+		if len(push) == 0 {
+			m.finish(true)
+			return
+		}
+		sort.Slice(push, func(i, j int) bool { return push[i].ID < push[j].ID })
+		wires := make([]wireObject, len(push))
+		for i, obj := range push {
+			wires[i] = toWire(obj)
+		}
+		r.ep.GoJSON(m.p.addr, MethodPush, pushReq{Site: r.site, Objects: wires}, func(res rpc.Result) {
+			var pr pushResp
+			if err := res.Decode(&pr); err != nil {
+				m.fail()
+				return
+			}
+			r.bump(func(s *Stats) { s.Pushed += int64(len(wires)) })
+			m.st.pushed += len(wires)
+			if pr.Applied > 0 {
+				m.st.moved = true
+			}
+			m.finish(true)
+		}, rpc.CallTimeout(r.timeout))
+	}, rpc.CallTimeout(r.timeout))
+}
+
+// register installs the protocol handlers. All are pure local compute,
 // so the synchronous handler form is safe under the simulated clock.
 func (r *Replicator) register() {
 	r.ep.MustRegister(MethodSync, rpc.HandleJSON(func(_ netsim.Address, req syncReq) (syncResp, error) {
 		r.bump(func(s *Stats) { s.ServedDigests++ })
+		if len(req.Scope) > 0 {
+			return r.serveScopedSync(req), nil
+		}
 		deltas := r.space.NewerThan(req.Digest)
 		if r.policy != nil {
 			// The caller only sees deltas of spaces it is placed in — the
@@ -512,6 +1012,11 @@ func (r *Replicator) register() {
 		}
 		return resp, nil
 	}))
+	if !r.fullDigest {
+		r.ep.MustRegister(MethodDigest, rpc.HandleJSON(func(_ netsim.Address, req digestReq) (digestResp, error) {
+			return r.serveDigest(req)
+		}))
+	}
 	r.ep.MustRegister(MethodPush, rpc.HandleJSON(func(_ netsim.Address, req pushReq) (pushResp, error) {
 		var resp pushResp
 		notPlaced := 0
@@ -549,6 +1054,85 @@ func (r *Replicator) register() {
 		})
 		return resp, nil
 	}))
+}
+
+// serveScopedSync answers a digest exchange narrowed to the caller's
+// divergent Merkle leaf buckets: the responder's scoped digest for those
+// buckets plus the rows the caller's scoped digest has not fully seen.
+// The per-caller tree is already placement-scoped, so the partial-
+// replication cut is built in.
+func (r *Replicator) serveScopedSync(req syncReq) syncResp {
+	tree := r.treeFor(req.Site)
+	scopedDigest := make(map[string]vclock.Version)
+	var deltas []*information.Object
+	for _, b := range req.Scope {
+		for id, vv := range tree.LeafDigest(b) {
+			scopedDigest[id] = vv
+			if seen, ok := req.Digest[id]; ok && seen.Dominates(vv) {
+				continue
+			}
+			if obj, ok := r.space.Fetch(id); ok {
+				deltas = append(deltas, obj)
+			}
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].ID < deltas[j].ID })
+	resp := syncResp{Site: r.site, Digest: scopedDigest}
+	if len(deltas) > 0 {
+		r.bump(func(s *Stats) { s.DeltasServed += int64(len(deltas)) })
+		resp.Deltas = make([]wireObject, len(deltas))
+		for i, obj := range deltas {
+			resp.Deltas[i] = toWire(obj)
+		}
+	}
+	return resp
+}
+
+// serveDigest answers one Merkle negotiation step: for every offered
+// frame that mismatches the responder's tree, the node's children; on
+// the opening call (HW present) also the responder's high-water marks
+// and the fast-path rows the caller's marks prove it lacks.
+func (r *Replicator) serveDigest(req digestReq) (digestResp, error) {
+	r.bump(func(s *Stats) { s.ServedDigests++ })
+	tree := r.treeFor(req.Site)
+	frames, err := wire.DecodeTreeFrames(req.Frames)
+	if err != nil {
+		return digestResp{}, err
+	}
+	resp := digestResp{Site: r.site, Match: true}
+	var children []wire.TreeFrame
+	for _, f := range frames {
+		level, index := wire.TreePathParts(f.Path)
+		local, ok := tree.NodeHash(level, index)
+		if !ok || local == f.Hash {
+			continue
+		}
+		resp.Match = false
+		base := index * information.MerkleFanout
+		for j, h := range tree.Children(level, index) {
+			children = append(children, wire.TreeFrame{
+				Path: wire.PackTreePath(level+1, base+uint32(j)),
+				Hash: h,
+			})
+		}
+	}
+	if len(children) > 0 {
+		resp.Frames = wire.AppendTreeFrames(nil, children)
+	}
+	if req.HW != nil {
+		resp.HW = tree.HighWater()
+		if !resp.Match {
+			deltas := r.newerThanHW(tree, req.HW, req.Site)
+			if len(deltas) > 0 {
+				r.bump(func(s *Stats) { s.DeltasServed += int64(len(deltas)) })
+				resp.Deltas = make([]wireObject, len(deltas))
+				for i, obj := range deltas {
+					resp.Deltas[i] = toWire(obj)
+				}
+			}
+		}
+	}
+	return resp, nil
 }
 
 // --- placement migration ---------------------------------------------------

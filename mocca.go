@@ -105,6 +105,15 @@ func WithPlacement(rules ...placement.Rule) Option {
 	return func(d *Deployment) { d.placeRules = rules }
 }
 
+// WithFullDigestSync forces every site's replicator onto the legacy
+// full-digest anti-entropy exchange, disabling the Merkle digest
+// negotiation (the replicators neither initiate nor serve it). This is
+// the pre-negotiation behaviour — kept for compatibility testing and for
+// measuring the negotiation against the O(n)-digest baseline.
+func WithFullDigestSync() Option {
+	return func(d *Deployment) { d.fullDigest = true }
+}
+
 // WithSiteBackend supplies per-site information storage: the factory is
 // called when a site's replica is materialised (AddSite) and again on
 // Site.Restart, so a durable backend re-opened by the factory recovers
@@ -133,6 +142,7 @@ type Deployment struct {
 	syncEvery  time.Duration
 	backendFor func(site string) (information.Backend, error)
 	placeRules []placement.Rule
+	fullDigest bool
 
 	clock  *vclock.Simulated
 	net    *netsim.Network
@@ -308,11 +318,15 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 	mta := mhs.NewMTA(string(addr), domain, d.newEndpoint(addr), d.clock, mhs.WithIDs(d.ids))
 	senv := d.env.SiteEnv(name)
 	replEP := d.newEndpoint(netsim.Address("repl-" + name))
-	repl := replica.New(replEP, d.clock, senv.Space(), replica.WithPlacement(d.env.Placement()))
+	repl := replica.New(replEP, d.clock, senv.Space(), d.replicaOptions()...)
 	site := &Site{Name: name, Domain: domain, dep: d, mta: mta, env: senv, repl: repl, replEP: replEP}
 	site.readEP = d.newEndpoint(site.readAddr())
-	site.reader = placement.NewReader(site.readEP, d.env.Trader(), name)
-	site.readServer = placement.NewReadServer(site.readEP, name, func() *information.Space { return site.env.Space() })
+	site.reader = placement.NewReader(site.readEP, d.env.Trader(), name,
+		placement.WithNegativeCache(d.env.Placement()))
+	site.readServer = placement.NewReadServer(site.readEP, name,
+		func() *information.Space { return site.env.Space() },
+		placement.WithHolderPolicy(d.env.Placement()))
+	d.wireSiteSpace(site)
 	for _, other := range d.sites {
 		mta.AddRoute(other.Domain, other.mta.Addr())
 		other.mta.AddRoute(domain, mta.Addr())
@@ -329,6 +343,54 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 	d.sites[name] = site
 	d.refreshPlacementOffers()
 	return site
+}
+
+// replicaOptions builds the option set every site replicator is wired
+// with, first boot or restart.
+func (d *Deployment) replicaOptions() []replica.Option {
+	opts := []replica.Option{replica.WithPlacement(d.env.Placement())}
+	if d.fullDigest {
+		opts = append(opts, replica.WithFullDigest())
+	}
+	return opts
+}
+
+// wireSiteSpace subscribes the deployment's placement plumbing to the
+// site's (current) information replica: every local or applied write
+// invalidates the reader's negative-lookup cache, and a Put or Update
+// that lands at a site not placed for the object's space is forwarded to
+// a placed holder — trader-resolved like a read-through — with the local
+// foreign copy dropped only once a holder accepted it (DropCovered, so a
+// racing newer write survives). When no holder is reachable the copy
+// stays until the next MigrateForeign sweep: forwarding never destroys
+// the only copy. Called again after Restart, against the recovered
+// replica.
+func (d *Deployment) wireSiteSpace(s *Site) {
+	sp := s.env.Space()
+	pol := d.env.Placement()
+	sp.Subscribe("", func(ev information.Event) {
+		switch ev.Kind {
+		case "put", "update", "apply", "conflict", "evict":
+			s.reader.Bump()
+		}
+		if ev.Kind != "put" && ev.Kind != "update" || ev.Object == nil {
+			return
+		}
+		if !pol.Selective() {
+			return
+		}
+		obj := ev.Object
+		pl := pol.SitesFor(placement.Describe(obj))
+		if pl.At(s.Name) {
+			return
+		}
+		s.reader.Forward(obj, pl, func(_ string, err error) {
+			if err != nil {
+				return // keep the foreign copy; migration sweeps later
+			}
+			_, _ = sp.DropCovered(obj.ID, obj.VV)
+		})
+	})
 }
 
 // Placement returns the deployment's placement policy.
@@ -411,14 +473,19 @@ type SitePlacementStats struct {
 	Site    string
 	Objects int // rows currently on the site's replica
 
-	FilteredDeltas int64 // delta objects withheld from peers by placement
-	FilteredPushes int64 // push objects withheld from peers by placement
+	FilteredDeltas int64 // delta objects withheld from peers by placement (full-digest path)
+	FilteredPushes int64 // push objects withheld from peers by placement (full-digest path)
+	ScopeFiltered  int64 // rows placement kept out of per-peer digest trees (Merkle path)
 	RefusedApplies int64 // offered objects the site is not placed for
 	Migrated       int64 // rows pushed off by migration
 	Evicted        int64 // rows dropped locally after migration
 
 	RemoteReadsIssued int64 // read-throughs this site asked for
 	RemoteReadsServed int64 // remote reads this site answered for others
+
+	WritesForwarded int64 // non-placed writes this site routed to a holder
+	WritesAccepted  int64 // forwarded writes this site accepted for others
+	NegativeHits    int64 // reads short-circuited by the negative-lookup cache
 }
 
 // PlacementStats reports per-site placement statistics, sorted by site —
@@ -434,12 +501,34 @@ func (d *Deployment) PlacementStats() []SitePlacementStats {
 			Objects:           site.Space().Len(),
 			FilteredDeltas:    rs.FilteredDeltas,
 			FilteredPushes:    rs.FilteredPushes,
+			ScopeFiltered:     rs.ScopeFiltered,
 			RefusedApplies:    rs.RefusedApplies,
 			Migrated:          rs.Migrated,
 			Evicted:           rs.Evicted,
 			RemoteReadsIssued: site.reader.Stats().Reads,
 			RemoteReadsServed: site.readServer.Stats().Served,
+			WritesForwarded:   site.reader.Stats().Forwarded,
+			WritesAccepted:    site.readServer.Stats().WritesAccepted,
+			NegativeHits:      site.reader.Stats().NegativeHits,
 		})
+	}
+	return out
+}
+
+// SiteSyncStats is one site's anti-entropy counters, named.
+type SiteSyncStats struct {
+	Site string
+	replica.Stats
+}
+
+// SyncStats reports per-site replication statistics, sorted by site —
+// the observable face of the digest negotiation: converged-root compares,
+// descent depth, digest bytes per round, and how often the legacy
+// full-digest fallback ran.
+func (d *Deployment) SyncStats() []SiteSyncStats {
+	out := make([]SiteSyncStats, 0, len(d.sites))
+	for _, name := range d.SiteNames() {
+		out = append(out, SiteSyncStats{Site: name, Stats: d.sites[name].repl.Stats()})
 	}
 	return out
 }
@@ -617,10 +706,14 @@ func (s *Site) Restart() error {
 	// any round it still fires fails instantly and it goes dormant under
 	// its failure cap.
 	s.replEP = d.endpointAt(s.replAddr())
-	s.repl = replica.New(s.replEP, d.clock, s.env.Space(), replica.WithPlacement(d.env.Placement()))
+	s.repl = replica.New(s.replEP, d.clock, s.env.Space(), d.replicaOptions()...)
 	s.readEP = d.endpointAt(s.readAddr())
-	s.reader = placement.NewReader(s.readEP, d.env.Trader(), s.Name)
-	s.readServer = placement.NewReadServer(s.readEP, s.Name, func() *information.Space { return s.env.Space() })
+	s.reader = placement.NewReader(s.readEP, d.env.Trader(), s.Name,
+		placement.WithNegativeCache(d.env.Placement()))
+	s.readServer = placement.NewReadServer(s.readEP, s.Name,
+		func() *information.Space { return s.env.Space() },
+		placement.WithHolderPolicy(d.env.Placement()))
+	d.wireSiteSpace(s)
 	for _, other := range d.sites {
 		if other == s {
 			continue

@@ -3,6 +3,8 @@ package mocca
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -92,6 +94,113 @@ func TestDurableSiteCrashRestartReconverges(t *testing.T) {
 	if got, err := gmd.Space().Get("navarro", obj.ID); err != nil || got.Fields["title"] != "post-restart" {
 		t.Fatalf("post-restart write did not replicate: %v %v", got, err)
 	}
+}
+
+// assertReplicasIdentical checks that every site agrees byte-for-byte:
+// canonical digest encodings match per object, and the Merkle roots —
+// the negotiation's convergence witness — are equal.
+func assertReplicasIdentical(t *testing.T, sites []*Site) {
+	t.Helper()
+	ref := digestBytes(sites[0])
+	refRoot := sites[0].Space().Tree().Root()
+	for _, s := range sites[1:] {
+		d := digestBytes(s)
+		if len(d) != len(ref) {
+			t.Fatalf("%s holds %d objects, %s holds %d", s.Name, len(d), sites[0].Name, len(ref))
+		}
+		for id, want := range ref {
+			if !bytes.Equal(d[id], want) {
+				t.Fatalf("object %s: digests diverge between %s and %s", id, sites[0].Name, s.Name)
+			}
+		}
+		if root := s.Space().Tree().Root(); root != refRoot {
+			t.Fatalf("Merkle roots diverge: %s=%x %s=%x", sites[0].Name, refRoot, s.Name, root)
+		}
+	}
+}
+
+// TestDurableCrashRestartCyclesWithTornTails is the extended
+// crash-durability scenario: sites take turns crashing — each crash
+// tearing a partial frame onto the victim's WAL — while the survivors
+// keep writing across sites (including updates racing into conflicts).
+// After every restart the recovered replica re-enters the Merkle
+// negotiation and all digests AND tree roots converge byte-identically.
+func TestDurableCrashRestartCyclesWithTornTails(t *testing.T) {
+	dir := t.TempDir()
+	dep := NewDeployment(WithSeed(53), WithDurableStore(dir))
+	sites := []*Site{
+		dep.AddSite("gmd", "gmd.de"),
+		dep.AddSite("upc", "upc.es"),
+		dep.AddSite("nott", "nott.uk"),
+	}
+	shared, err := sites[0].Space().Put("prinz", SharedSchemaName, map[string]string{"title": "shared v0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Run()
+	assertReplicasIdentical(t, sites)
+
+	version := shared.Version
+	for cycle := 0; cycle < 4; cycle++ {
+		victim := sites[cycle%len(sites)]
+		victim.Crash()
+		// A crash mid-append: a torn partial frame sits at the end of the
+		// victim's log. Recovery must truncate it and carry on.
+		wal := filepath.Join(dir, victim.Name, "wal.log")
+		f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, byte(cycle)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cross-site writes while the victim is down: new rows at every
+		// survivor plus an update of the shared object.
+		for _, s := range sites {
+			if s == victim {
+				continue
+			}
+			if _, err := s.Space().Put("prinz", SharedSchemaName,
+				map[string]string{"title": fmt.Sprintf("cycle %d @%s", cycle, s.Name)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		writer := sites[(cycle+1)%len(sites)]
+		if writer == victim {
+			writer = sites[(cycle+2)%len(sites)]
+		}
+		if upd, err := writer.Space().Update("prinz", shared.ID, version,
+			map[string]string{"title": fmt.Sprintf("shared v%d", cycle+1)}); err == nil {
+			version = upd.Version
+		} else {
+			t.Fatal(err)
+		}
+		dep.Run()
+
+		if err := victim.Restart(); err != nil {
+			t.Fatalf("cycle %d: restart %s: %v", cycle, victim.Name, err)
+		}
+		dep.Run()
+		assertReplicasIdentical(t, sites)
+	}
+
+	// The mesh is fully live after the cycles: a write anywhere reaches
+	// everywhere, durably.
+	final, err := sites[2].Space().Put("navarro", SharedSchemaName, map[string]string{"title": "post-cycles"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Run()
+	for _, s := range sites {
+		if got, err := s.Space().Get("navarro", final.ID); err != nil || got.Fields["title"] != "post-cycles" {
+			t.Fatalf("%s missed the post-cycle write: %v %v", s.Name, got, err)
+		}
+	}
+	assertReplicasIdentical(t, sites)
 }
 
 // TestInMemorySiteRestartRereplicates pins the contrast: without a durable

@@ -123,7 +123,7 @@ func runActivityFanout(t *testing.T, scoped bool) fanoutOutcome {
 		var filtered int64
 		for _, st := range stats {
 			byName[st.Site] = st
-			filtered += st.FilteredDeltas + st.FilteredPushes
+			filtered += st.FilteredDeltas + st.FilteredPushes + st.ScopeFiltered
 		}
 		if byName[reader.Name].RemoteReadsIssued < 2 {
 			t.Fatalf("reader stats = %+v", byName[reader.Name])
@@ -313,6 +313,101 @@ func TestPlacementDisjointInterestSetsPartitionHeal(t *testing.T) {
 	}
 	if err := dep.ReconcileChannels(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlacementWriteForwarding: a Put at a site not placed for the
+// object's space is routed to a placed holder instead of stranding a
+// foreign row until the next migration sweep — the local copy is dropped
+// once the holder accepted, and the writer site still reads the object
+// back through the trader.
+func TestPlacementWriteForwarding(t *testing.T) {
+	dep := NewDeployment(WithSeed(29), WithPlacement(
+		placement.ByField("context", "vault", "s0"),
+	))
+	s0 := dep.AddSite("s0", "s0.net")
+	s1 := dep.AddSite("s1", "s1.net")
+
+	obj, err := s1.Space().Put("ada", SharedSchemaName, map[string]string{
+		"title": "routed secret", "context": "vault",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Run()
+
+	if n := s1.Space().Len(); n != 0 {
+		t.Fatalf("writer site still holds %d foreign rows", n)
+	}
+	got, err := s0.Space().Get("ada", obj.ID)
+	if err != nil || got.Fields["title"] != "routed secret" {
+		t.Fatalf("holder state = %v, %v", got, err)
+	}
+	stats := dep.PlacementStats()
+	byName := map[string]SitePlacementStats{}
+	for _, st := range stats {
+		byName[st.Site] = st
+	}
+	if byName["s1"].WritesForwarded == 0 {
+		t.Fatalf("no forward recorded: %+v", byName["s1"])
+	}
+	if byName["s0"].WritesAccepted == 0 {
+		t.Fatalf("holder accepted nothing: %+v", byName["s0"])
+	}
+	// The writer still reads its own write — via read-through.
+	if err := dep.Do(func() error {
+		o, err := s1.Env().Get("ada", obj.ID)
+		if err != nil {
+			return err
+		}
+		if o.Fields["title"] != "routed secret" {
+			return fmt.Errorf("bad read-back: %v", o.Fields)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.ReconcileChannels(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlacementWriteForwardingKeepsCopyWhenHolderDown: no reachable
+// placed holder — the foreign copy stays (forwarding never destroys the
+// only copy) and a later migration sweep moves it once the holder is
+// back.
+func TestPlacementWriteForwardingKeepsCopyWhenHolderDown(t *testing.T) {
+	dep := NewDeployment(WithSeed(31), WithPlacement(
+		placement.ByField("context", "vault", "s0"),
+	))
+	s0 := dep.AddSite("s0", "s0.net")
+	s1 := dep.AddSite("s1", "s1.net")
+	s0.Crash()
+
+	obj, err := s1.Space().Put("ada", SharedSchemaName, map[string]string{
+		"title": "stranded", "context": "vault",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Run()
+	if _, err := s1.Space().Get("ada", obj.ID); err != nil {
+		t.Fatalf("sole copy destroyed by failed forward: %v", err)
+	}
+
+	// Holder returns; the recovery sync round hands it the row, and a
+	// migration sweep clears the foreign copy.
+	if err := s0.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	dep.Run()
+	dep.SetPlacementRules(placement.ByField("context", "vault", "s0"))
+	dep.Run()
+	if _, err := s0.Space().Get("ada", obj.ID); err != nil {
+		t.Fatalf("holder never received the row: %v", err)
+	}
+	if n := s1.Space().Len(); n != 0 {
+		t.Fatalf("foreign copy still on writer site: %d rows", n)
 	}
 }
 
