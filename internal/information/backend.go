@@ -11,14 +11,24 @@ import "mocca/internal/vclock"
 // backends apart.
 //
 // Two implementations exist: the in-memory Store (the default, rows live
-// only as long as the process) and logstore.Store (a disk-backed
-// log-structured store whose replica survives a site crash). Every
-// implementation must honour the Store's copying contract: reads and Exec
-// return values are deep copies. The Exec callback's argument may be the
-// live row (in-memory Store) or a private copy (logstore, which must be
-// able to abandon a mutation whose log append fails) — so a mutation
-// takes effect only by RETURNING the row to store; callbacks must never
-// rely on in-place edits of their argument persisting.
+// only as long as the process) and logstore.Store (a disk-backed tiered
+// log-structured store — memtable over sorted segment files — whose
+// replica survives a site crash). Every implementation must honour the
+// Store's copying contract: reads and Exec return values are deep
+// copies. The Exec callback's argument may be the live row (in-memory
+// Store) or a private copy (logstore, which must be able to abandon a
+// mutation whose log append fails, and whose segment-resident rows are
+// decoded fresh from disk per call) — so a mutation takes effect only by
+// RETURNING the row to store; callbacks must never rely on in-place
+// edits of their argument persisting.
+//
+// A tiered backend need not hold all rows in memory. The interface is
+// written so it never has to materialise more than the caller asked
+// for: Range and Snapshot stream rows one at a time (a disk-backed
+// implementation may merge memtable and segment cursors under the
+// hood), Get/Exec are point lookups, and only Digest/NewerThan are
+// inherently O(rows) — they summarise every version vector, which is
+// exactly the anti-entropy exchange they exist for.
 type Backend interface {
 	// Len returns the number of stored objects.
 	Len() int
@@ -39,10 +49,13 @@ type Backend interface {
 	Remove(id string) (*Object, error)
 	// Range calls fn for every stored row under the backend's read
 	// exclusion, in unspecified order, stopping early when fn returns
-	// false. fn may receive the live row: it must treat the row as
-	// read-only, must not retain it past its return, and must not call
-	// back into the backend. This is the streaming primitive the Space
-	// uses to rebuild its Merkle digest tree over recovered state.
+	// false. fn may receive the live row (in-memory Store) or a
+	// transient decode of an on-disk row (tiered logstore): either way
+	// it must treat the row as read-only, must not retain it past its
+	// return, and must not call back into the backend. This is the
+	// streaming primitive the Space uses to rebuild its Merkle digest
+	// tree over recovered state — it must work without the backend ever
+	// materialising the full row set in memory.
 	Range(fn func(*Object) bool)
 	// Digest summarises every row's version vector for anti-entropy
 	// exchange.

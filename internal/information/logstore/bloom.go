@@ -1,0 +1,72 @@
+package logstore
+
+import "hash/fnv"
+
+// bloomBitsPerKey and bloomHashes size the per-segment bloom filters:
+// 10 bits and 7 probes per key give a ~0.8% false-positive rate, so a
+// point read for an absent id is answered from memory for ~99% of the
+// segments it would otherwise have to touch on disk.
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+// bloomFilter is a standard split-and-mix double-hashing bloom filter
+// over object ids. The hash base is FNV-1a — a stable, seedless function,
+// which matters because filters are persisted in segment files and must
+// answer identically in every later process.
+type bloomFilter struct {
+	bits []byte
+	k    int
+}
+
+// newBloomFilter sizes a filter for n keys.
+func newBloomFilter(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nbytes := (n*bloomBitsPerKey + 7) / 8
+	return &bloomFilter{bits: make([]byte, nbytes), k: bloomHashes}
+}
+
+// bloomHash returns the two independent hash streams for key: the FNV-1a
+// digest and a splitmix64 remix of it. Probe i uses h1 + i*h2 (Kirsch &
+// Mitzenmacher double hashing).
+func bloomHash(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	// splitmix64 finalizer.
+	z := h1 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	h2 := z ^ (z >> 31)
+	return h1, h2 | 1
+}
+
+// add records key in the filter.
+func (b *bloomFilter) add(key string) {
+	h1, h2 := bloomHash(key)
+	nbits := uint64(len(b.bits)) * 8
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// may reports whether key might be in the filter; false means the key is
+// definitely absent.
+func (b *bloomFilter) may(key string) bool {
+	if len(b.bits) == 0 {
+		return false
+	}
+	h1, h2 := bloomHash(key)
+	nbits := uint64(len(b.bits)) * 8
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -17,8 +17,19 @@ import (
 const (
 	recExec       byte = 1 // full post-state of one Exec mutation
 	recRelate     byte = 2 // one relationship edge
-	recSnapHeader byte = 3 // snapshot file header
+	recSnapHeader byte = 3 // manifest file header (historically: snapshot)
 	recRemove     byte = 4 // eviction of one row (placement migration)
+
+	// Segment-file records (see segment.go for the file layout).
+	recSegRow   byte = 5  // one object row in a segment's data region
+	recSegTomb  byte = 6  // one tombstone in a segment's data region
+	recSegMeta  byte = 7  // segment metadata header (count, seq + key ranges)
+	recSegIdx   byte = 8  // a chunk of the sparse key index
+	recSegBloom byte = 9  // a chunk of the bloom filter bits
+	recSegFoot  byte = 10 // fixed-size footer pointing at the metadata
+
+	// Manifest records (see manifest.go).
+	recManSeg byte = 11 // one live segment reference
 )
 
 // ErrCorrupt reports a record whose framing was intact but whose payload

@@ -1,27 +1,34 @@
 // Package logstore is the durable engineering realisation of the
 // information store: an information.Backend whose replica survives a site
-// crash. It keeps the same in-memory row map as information.Store for
-// serving reads, and makes every mutation durable with a log-structured
-// layout on disk:
+// crash. It is a tiered, log-structured store:
 //
 //   - wal.log — an append-only write-ahead log. Every Exec that stores a
-//     row and every Relate appends one CRC-framed record (wire.AppendRecord)
-//     carrying a monotonic sequence number and the full post-state of the
-//     mutation — object rows round-trip with their version vectors and
-//     writer-site metadata intact, so a recovered replica re-enters
-//     anti-entropy with correct digests.
-//   - snapshot.snap — a periodic full-state snapshot (all rows plus the
-//     relationship graph) written to a temporary file, fsynced, and
-//     atomically renamed. Its header records the sequence number it
-//     covers; after a successful snapshot the WAL is truncated.
+//     row, every Relate and every Remove appends one CRC-framed record
+//     (wire.AppendRecord) carrying a monotonic sequence number and the
+//     full post-state of the mutation — object rows round-trip with their
+//     version vectors and writer-site metadata intact, so a recovered
+//     replica re-enters anti-entropy with correct digests.
+//   - memtable — the rows written since the last flush, plus the whole
+//     relationship graph (small: edges, not rows). Reads consult it first.
+//   - seg-*.seg — sorted, immutable segment files. When the memtable
+//     grows past the flush threshold it streams into a new level-0
+//     segment; a background compactor merges over-full levels into the
+//     next level, dropping superseded row versions and removed rows.
+//     Each segment carries a bloom filter and key-range metadata, so a
+//     point read touches at most the one or two segments that can hold
+//     the id and a miss is usually answered without touching disk at all.
+//   - snapshot.snap — the manifest, an incremental snapshot: the live
+//     segment list, the covered WAL sequence and the relationship graph,
+//     written to a temporary file, fsynced, and atomically renamed.
+//     After a successful flush the WAL is truncated.
 //
-// Recovery (Open) loads the snapshot, then replays the WAL tail, skipping
-// records the snapshot already covers — which is exactly what makes a
-// crash between the snapshot rename and the WAL truncation harmless. A
-// torn or corrupt record ends the replay: everything before it is intact
-// (the CRC guarantees it), the garbage suffix is truncated away, and the
-// store resumes appending from the last good record — the standard WAL
-// discipline.
+// Recovery (Open) loads the manifest, opens each segment's footer and
+// metadata (never its rows), and replays the WAL tail, skipping records
+// the manifest already covers — O(manifest + WAL tail), not O(data).
+// A torn or corrupt record ends the replay: everything before it is
+// intact (the CRC guarantees it), the garbage suffix is truncated away,
+// and the store resumes appending from the last good record — the
+// standard WAL discipline.
 //
 // The store inherits information.Store's copying contract and adds one
 // serialisation point: mutations are ordered by the store's own mutex so
@@ -35,14 +42,17 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mocca/internal/information"
 	"mocca/internal/vclock"
 	"mocca/internal/wire"
 )
 
-// On-disk file names within a store directory.
+// On-disk file names within a store directory. snapshot.snap holds the
+// manifest (see manifest.go); segment files are named by segName.
 const (
 	walName     = "wal.log"
 	snapName    = "snapshot.snap"
@@ -50,7 +60,7 @@ const (
 )
 
 // DefaultCompactEvery is how many WAL records accumulate before an
-// automatic snapshot-and-truncate cycle.
+// automatic flush (memtable -> segment, manifest rewrite, WAL truncate).
 const DefaultCompactEvery = 4096
 
 // ErrClosed reports a mutation attempted after Close.
@@ -67,8 +77,10 @@ var ErrReadOnly = errors.New("logstore: store failed, mutations disabled")
 type Stats struct {
 	Appends            int64 // WAL records appended this process
 	AppendedBytes      int64 // WAL bytes appended this process
-	Compactions        int64 // snapshot-and-truncate cycles run
-	CompactionFailures int64 // failed automatic compactions (write stays durable in the WAL)
+	Compactions        int64 // flushes + level merges completed
+	CompactionFailures int64 // failed flushes/merges (writes stay durable in the WAL)
+	Merges             int64 // level merges completed (subset of Compactions)
+	Segments           int   // live segment files right now (gauge)
 
 	// Group-commit counters: Flushes is how many write(+fsync) windows
 	// drained the batch buffer, FlushedRecords how many records they
@@ -78,28 +90,56 @@ type Stats struct {
 	FlushedRecords int64
 	Fsyncs         int64
 
-	RecoveredObjects   int   // rows loaded by Open (snapshot + replay)
+	// Point-read probe counters. A read that misses the memtable walks the
+	// segments newest-first; KeyRangeFiltered and BloomFiltered count the
+	// segments dismissed without touching disk, SegmentProbes the bounded
+	// preads actually issued, and BloomFalsePositives the probes the bloom
+	// filter admitted that found nothing.
+	SegmentProbes       int64
+	BloomFiltered       int64
+	BloomFalsePositives int64
+	KeyRangeFiltered    int64
+
+	RecoveredObjects   int   // rows live after Open (manifest + replay)
 	RecoveredRelations int   // edges loaded by Open
 	ReplayedRecords    int   // WAL records applied by Open
-	SkippedRecords     int   // WAL records the snapshot already covered
+	SkippedRecords     int   // WAL records the manifest already covered
 	DiscardedBytes     int64 // corrupt/torn WAL suffix truncated by Open
 }
 
 // Option configures a Store.
 type Option func(*Store)
 
-// WithFsync makes every append (and the snapshot) fsync before returning.
-// Off by default: the simulated crash model is process death, for which
-// reaching the OS page cache suffices.
+// WithFsync makes every append (and every segment/manifest write) fsync
+// before returning. Off by default: the simulated crash model is process
+// death, for which reaching the OS page cache suffices.
 func WithFsync(on bool) Option {
 	return func(s *Store) { s.fsync = on }
 }
 
-// WithCompactEvery sets how many WAL records accumulate before automatic
-// compaction; 0 disables automatic compaction (Compact can still be
-// called explicitly).
+// WithCompactEvery sets how many WAL records accumulate before the
+// memtable automatically flushes to a segment; 0 disables automatic
+// flushing (Compact can still be called explicitly).
 func WithCompactEvery(n int) Option {
 	return func(s *Store) { s.compactEvery = n }
+}
+
+// WithMergeFanout sets how many segments accumulate on a level before
+// the background compactor merges them into the next level. Lower values
+// mean fewer segments per read but more write amplification.
+func WithMergeFanout(n int) Option {
+	return func(s *Store) {
+		if n >= 2 {
+			s.fanout = n
+		}
+	}
+}
+
+// WithBackgroundMerge enables or disables the background level
+// compactor. On by default; with it off, segments still merge on an
+// explicit Compact call.
+func WithBackgroundMerge(on bool) Option {
+	return func(s *Store) { s.bgMerge = on }
 }
 
 // WithGroupCommit batches concurrent WAL appends into one write-and-fsync
@@ -114,32 +154,57 @@ func WithCompactEvery(n int) Option {
 // disk for the writers already committed, so the store turns read-only
 // (ErrReadOnly) instead of rolling back. No acknowledged write is ever
 // lost in either mode — waiters only return success once their record is
-// durable (or covered by a snapshot).
+// durable (or covered by a flush).
 func WithGroupCommit(on bool) Option {
 	return func(s *Store) { s.group = on }
 }
 
-// Store is the disk-backed information.Backend. Reads are served from the
-// embedded in-memory store; mutations commit in memory and append to the
-// WAL before returning.
+// Store is the disk-backed information.Backend. Reads resolve across the
+// tiers (memtable, then segments newest-first); mutations append to the
+// WAL and commit to the memtable before returning.
 type Store struct {
-	mem          *information.Store
+	mem          *memtable
 	dir          string
 	fsync        bool
 	group        bool
 	compactEvery int
+	fanout       int
+	bgMerge      bool
 
-	mu        sync.Mutex // orders mutations; WAL order == commit order
-	wal       *os.File
-	walSize   int64  // bytes of intact records on disk (inline mode)
-	seq       uint64 // last assigned record sequence number
-	snapSeq   uint64 // sequence covered by the snapshot on disk
-	sinceSnap int    // records appended since the last snapshot
-	closed    bool
-	broken    bool   // torn frame stuck mid-log; see ErrReadOnly
-	payload   []byte // scratch: record payload
-	frame     []byte // scratch: framed record
-	stats     Stats
+	mu          sync.Mutex // orders mutations; WAL order == commit order
+	wal         *os.File
+	walSize     int64  // bytes of intact records on disk (inline mode)
+	seq         uint64 // last assigned record sequence number
+	snapSeq     uint64 // sequence covered by the manifest on disk
+	sinceSnap   int    // records appended since the last flush
+	liveCovered int    // live row count at snapSeq (manifest header field)
+	nextSegID   uint64 // next segment file id
+	closed      bool
+	broken      bool   // torn frame stuck mid-log; see ErrReadOnly
+	payload     []byte // scratch: record payload
+	frame       []byte // scratch: framed record
+	stats       Stats
+
+	// live is the row count across all tiers, maintained on every commit
+	// so Len never has to merge the store.
+	live atomic.Int64
+
+	// segMu guards the segment list; the list itself is copy-on-write
+	// (install swaps the slice) so readers pin a consistent snapshot.
+	segMu sync.RWMutex
+	segs  []*segment // newest first (descending seqHi)
+
+	// Point-read probe counters (see Stats). Atomic: reads don't hold s.mu.
+	segProbes     atomic.Int64
+	bloomFiltered atomic.Int64
+	bloomFalse    atomic.Int64
+	rangeFiltered atomic.Int64
+
+	// Background compactor plumbing. Lock order: mergeMu before s.mu.
+	mergeMu   sync.Mutex // serialises level merges (background vs Compact)
+	mergeKick chan struct{}
+	closing   chan struct{}
+	mergeWG   sync.WaitGroup
 
 	// Group-commit state. Lock order: s.mu before g.mu; the flusher holds
 	// neither while writing (it owns the file through g.flushing). In
@@ -172,14 +237,20 @@ type groupState struct {
 var _ information.Backend = (*Store)(nil)
 
 // Open opens (or creates) the store rooted at dir and recovers its state:
-// snapshot load, WAL tail replay, torn-suffix truncation. A leftover
-// temporary snapshot from a crash mid-compaction is discarded — the
-// previous snapshot plus the un-truncated WAL is a complete state.
+// manifest load, segment metadata load, WAL tail replay, torn-suffix
+// truncation. A leftover temporary manifest or an orphaned segment file
+// from a crash mid-flush is discarded — the previous manifest plus the
+// un-truncated WAL is a complete state.
 func Open(dir string, opts ...Option) (*Store, error) {
 	s := &Store{
-		mem:          information.NewStore(),
+		mem:          newMemtable(),
 		dir:          dir,
 		compactEvery: DefaultCompactEvery,
+		fanout:       DefaultMergeFanout,
+		bgMerge:      true,
+		nextSegID:    1,
+		mergeKick:    make(chan struct{}, 1),
+		closing:      make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -187,15 +258,22 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
-	// A snapshot.tmp can only exist if a compaction died before its atomic
+	// A snapshot.tmp can only exist if a flush died before its atomic
 	// rename; it is unreferenced garbage.
 	if err := os.Remove(filepath.Join(dir, snapTmpName)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
-	if err := s.loadSnapshot(); err != nil {
+	if err := s.loadManifestState(); err != nil {
+		for _, g := range s.segs {
+			g.closeFile()
+		}
 		return nil, err
 	}
+	s.live.Store(int64(s.liveCovered))
 	if err := s.replayWAL(); err != nil {
+		for _, g := range s.segs {
+			g.closeFile()
+		}
 		return nil, err
 	}
 	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -206,16 +284,63 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	s.g.cond = sync.NewCond(&s.g.mu)
 	s.g.hiEnq, s.g.hiDur = s.seq, s.seq
 	s.g.durSize = s.walSize
-	s.stats.RecoveredObjects = s.mem.Len()
+	s.stats.RecoveredObjects = int(s.live.Load())
 	s.stats.RecoveredRelations = len(s.mem.Relations())
+	if s.bgMerge {
+		s.mergeWG.Add(1)
+		go s.mergerLoop()
+		s.kickMerger() // a crash may have left a level over-full
+	}
 	return s, nil
+}
+
+// loadManifestState loads the manifest and opens every segment it
+// references (footer + metadata only). Segment files the manifest does
+// not reference are orphans of a crashed flush or merge and are removed.
+func (s *Store) loadManifestState() error {
+	m, err := loadManifest(s.dir)
+	if err != nil {
+		return fmt.Errorf("logstore: %w", err)
+	}
+	known := map[string]bool{}
+	if m != nil {
+		s.seq, s.snapSeq = m.coveredSeq, m.coveredSeq
+		s.liveCovered = m.liveRows
+		if m.nextSegID > 0 {
+			s.nextSegID = m.nextSegID
+		}
+		for _, ms := range m.segs {
+			known[ms.file] = true
+			seg, err := openSegment(filepath.Join(s.dir, ms.file), ms.id, ms.level)
+			if err != nil {
+				return fmt.Errorf("logstore: %w", err)
+			}
+			s.segs = append(s.segs, seg)
+		}
+		sort.Slice(s.segs, func(i, j int) bool { return s.segs[i].seqHi > s.segs[j].seqHi })
+		for _, rel := range m.rels {
+			s.mem.loadRelation(rel)
+		}
+	}
+	orphans, err := filepath.Glob(filepath.Join(s.dir, "seg-*.seg"))
+	if err != nil {
+		return fmt.Errorf("logstore: %w", err)
+	}
+	for _, path := range orphans {
+		if !known[filepath.Base(path)] {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("logstore: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
 // Stats returns a snapshot of the counters, folding in the group-commit
-// flush counters.
+// flush counters, the probe counters and the live segment gauge.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -225,30 +350,45 @@ func (s *Store) Stats() Stats {
 	out.FlushedRecords += s.g.flushedRecords
 	out.Fsyncs += s.g.fsyncs
 	s.g.mu.Unlock()
+	s.segMu.RLock()
+	out.Segments = len(s.segs)
+	s.segMu.RUnlock()
+	out.SegmentProbes = s.segProbes.Load()
+	out.BloomFiltered = s.bloomFiltered.Load()
+	out.BloomFalsePositives = s.bloomFalse.Load()
+	out.KeyRangeFiltered = s.rangeFiltered.Load()
 	return out
 }
 
-// Close flushes (draining any group-commit batch) and closes the WAL.
-// Reads keep working from memory; further mutations fail with ErrClosed.
+// Close flushes (draining any group-commit batch), closes the WAL and
+// stops the background compactor. Reads keep working across the tiers
+// (segment file handles stay open); further mutations fail with
+// ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	var err error
 	if s.group {
-		if err := s.drainGroupLocked(); err != nil {
-			s.wal.Close()
-			return fmt.Errorf("logstore: close: %w", err)
+		if derr := s.drainGroupLocked(); derr != nil {
+			err = fmt.Errorf("logstore: close: %w", derr)
 		}
 	}
-	if s.fsync {
-		if err := s.wal.Sync(); err != nil {
-			return fmt.Errorf("logstore: %w", err)
+	if err == nil && s.fsync {
+		if serr := s.wal.Sync(); serr != nil {
+			err = fmt.Errorf("logstore: %w", serr)
 		}
 	}
-	return s.wal.Close()
+	if cerr := s.wal.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	s.mu.Unlock()
+	close(s.closing)
+	s.mergeWG.Wait()
+	return err
 }
 
 // Sync forces the WAL to stable storage.
@@ -263,68 +403,8 @@ func (s *Store) Sync() error {
 
 // --- recovery -------------------------------------------------------------
 
-// loadSnapshot reads snapshot.snap (if present) into the memory store. A
-// snapshot that fails its checksums is a hard error: the WAL was truncated
-// when it was written, so nothing can reconstruct the covered prefix.
-func (s *Store) loadSnapshot() error {
-	data, err := os.ReadFile(filepath.Join(s.dir, snapName))
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("logstore: %w", err)
-	}
-	payload, rest, err := wire.NextRecord(data)
-	if err != nil {
-		return fmt.Errorf("logstore: snapshot header: %w", err)
-	}
-	if len(payload) < 1 || payload[0] != recSnapHeader {
-		return fmt.Errorf("logstore: snapshot header: %w", ErrCorrupt)
-	}
-	var snapSeq, nObjects, nRelations uint64
-	p := payload[1:]
-	if snapSeq, p, err = wire.ConsumeUint64(p); err != nil {
-		return fmt.Errorf("logstore: snapshot header: %w", err)
-	}
-	if nObjects, p, err = wire.ConsumeUint64(p); err != nil {
-		return fmt.Errorf("logstore: snapshot header: %w", err)
-	}
-	if nRelations, _, err = wire.ConsumeUint64(p); err != nil {
-		return fmt.Errorf("logstore: snapshot header: %w", err)
-	}
-	for i := uint64(0); i < nObjects; i++ {
-		if payload, rest, err = wire.NextRecord(rest); err != nil {
-			return fmt.Errorf("logstore: snapshot object %d: %w", i, err)
-		}
-		obj, _, err := decodeObject(payload)
-		if err != nil {
-			return fmt.Errorf("logstore: snapshot object %d: %w", i, err)
-		}
-		if _, err := s.mem.Exec(obj.ID, func(*information.Object) (*information.Object, error) {
-			return obj, nil
-		}); err != nil {
-			return fmt.Errorf("logstore: snapshot object %d: %w", i, err)
-		}
-	}
-	for i := uint64(0); i < nRelations; i++ {
-		if payload, rest, err = wire.NextRecord(rest); err != nil {
-			return fmt.Errorf("logstore: snapshot relation %d: %w", i, err)
-		}
-		rel, _, err := decodeRelation(payload)
-		if err != nil {
-			return fmt.Errorf("logstore: snapshot relation %d: %w", i, err)
-		}
-		if err := s.mem.Relate(rel.From, rel.Kind, rel.To); err != nil {
-			return fmt.Errorf("logstore: snapshot relation %d: %w", i, err)
-		}
-	}
-	s.seq = snapSeq
-	s.snapSeq = snapSeq
-	return nil
-}
-
-// replayWAL applies the WAL tail over the snapshot state. Records the
-// snapshot already covers (seq <= snapSeq) are skipped; the first record
+// replayWAL applies the WAL tail over the manifest state. Records the
+// manifest already covers (seq <= snapSeq) are skipped; the first record
 // that fails framing or decoding ends the intact prefix and the torn
 // suffix is truncated so future appends extend a clean log.
 func (s *Store) replayWAL() error {
@@ -355,11 +435,10 @@ func (s *Store) replayWAL() error {
 		} else {
 			switch rec.typ {
 			case recExec:
-				obj := rec.obj
-				if _, err := s.mem.Exec(obj.ID, func(*information.Object) (*information.Object, error) {
-					return obj, nil
-				}); err != nil {
-					return fmt.Errorf("logstore: replay seq %d: %w", rec.seq, err)
+				existed := s.hasAny(rec.obj.ID)
+				s.mem.put(rec.obj)
+				if !existed {
+					s.live.Add(1)
 				}
 			case recRelate:
 				// Replaying an existing edge is a no-op. A refused edge
@@ -367,7 +446,7 @@ func (s *Store) replayWAL() error {
 				// logs the edge before the graph validates it, so a crash in
 				// that window legitimately leaves a refused record behind —
 				// failing here would brick every future recovery.
-				if err := s.mem.Relate(rec.rel.From, rec.rel.Kind, rec.rel.To); err != nil {
+				if err := s.mem.relate(rec.rel.From, rec.rel.Kind, rec.rel.To, s.hasAny); err != nil {
 					s.stats.SkippedRecords++
 					rest = next
 					good = len(data) - len(next)
@@ -375,9 +454,10 @@ func (s *Store) replayWAL() error {
 				}
 			case recRemove:
 				// Removing an absent row is a no-op, which makes replay
-				// idempotent over snapshot-covered evictions.
-				if _, err := s.mem.Remove(rec.id); err != nil {
-					return fmt.Errorf("logstore: replay seq %d: %w", rec.seq, err)
+				// idempotent over manifest-covered evictions.
+				if s.hasAny(rec.id) {
+					s.mem.kill(rec.id, len(s.segs) > 0)
+					s.live.Add(-1)
 				}
 			}
 			s.stats.ReplayedRecords++
@@ -397,15 +477,17 @@ func (s *Store) replayWAL() error {
 
 // --- mutations ------------------------------------------------------------
 
-// Exec runs fn against the live row under the backend's write exclusion.
-// If fn stores a row, its full post-state is made durable before Exec
-// returns success. In the default (inline) mode the WAL append precedes
-// the in-memory commit, so a write that cannot be made durable (append
-// failure, or a row the codec cannot round-trip) fails without changing
-// any state, in memory or on disk. In group-commit mode the record is
-// enqueued (and memory committed) under the mutex, and Exec then waits
-// outside it for the group flush — see WithGroupCommit for the batching
-// and failure semantics.
+// Exec runs fn against the row for id under the backend's write
+// exclusion. fn receives a private copy (or a freshly decoded segment
+// row), never live state — a mutation takes effect only by returning the
+// row to store. If fn stores a row, its full post-state is made durable
+// before Exec returns success. In the default (inline) mode the WAL
+// append precedes the in-memory commit, so a write that cannot be made
+// durable (append failure, or a row the codec cannot round-trip) fails
+// without changing any state, in memory or on disk. In group-commit mode
+// the record is enqueued (and memory committed) under the mutex, and Exec
+// then waits outside it for the group flush — see WithGroupCommit for the
+// batching and failure semantics.
 func (s *Store) Exec(id string, fn func(cur *information.Object) (*information.Object, error)) (*information.Object, error) {
 	obj, waitSeq, err := s.execLocked(id, fn)
 	if err != nil || obj == nil {
@@ -449,40 +531,39 @@ func (s *Store) execLocked(id string, fn func(cur *information.Object) (*informa
 	if err := s.writableLocked(); err != nil {
 		return nil, 0, err
 	}
-	logged := false
-	var waitSeq uint64
-	obj, err := s.mem.Exec(id, func(cur *information.Object) (*information.Object, error) {
+	cur, live, fromMem := s.lookup(id)
+	if live && fromMem {
 		// fn gets a clone, not the live row: engine mutation paths edit
 		// their argument in place, and a mutation that fails validation or
 		// the WAL append below must leave the stored row untouched.
-		if cur != nil {
-			cur = cur.Clone()
-		}
-		next, err := fn(cur)
-		if err != nil || next == nil {
-			return next, err
-		}
-		if err := validateDurable(next); err != nil {
-			return nil, err
-		}
-		s.seq++
-		s.payload = appendWALPayload(s.payload[:0], recExec, s.seq)
-		s.payload = appendObject(s.payload, next)
-		if s.group {
-			if err := s.enqueueLocked(); err != nil {
-				return nil, err
-			}
-			waitSeq = s.seq
-		} else if err := s.appendLocked(); err != nil {
-			return nil, err
-		}
-		logged = true
-		return next, nil
-	})
-	if err == nil && obj != nil && logged {
-		s.compactIfDueLocked()
+		// Segment rows are freshly decoded and need no copy.
+		cur = cur.Clone()
 	}
-	return obj, waitSeq, err
+	next, err := fn(cur)
+	if err != nil || next == nil {
+		return next, 0, err
+	}
+	if err := validateDurable(next); err != nil {
+		return nil, 0, err
+	}
+	s.seq++
+	s.payload = appendWALPayload(s.payload[:0], recExec, s.seq)
+	s.payload = appendObject(s.payload, next)
+	var waitSeq uint64
+	if s.group {
+		if err := s.enqueueLocked(); err != nil {
+			return nil, 0, err
+		}
+		waitSeq = s.seq
+	} else if err := s.appendLocked(); err != nil {
+		return nil, 0, err
+	}
+	s.mem.put(next)
+	if !live {
+		s.live.Add(1)
+	}
+	s.compactIfDueLocked()
+	return next.Clone(), waitSeq, nil
 }
 
 // Relate records a typed relationship. Inline mode logs the edge before
@@ -513,7 +594,7 @@ func (s *Store) relateLocked(from string, kind information.RelKind, to string) (
 		}
 	}
 	if s.group {
-		if err := s.mem.Relate(from, kind, to); err != nil {
+		if err := s.mem.relate(from, kind, to, s.hasAny); err != nil {
 			return 0, err
 		}
 		s.seq++
@@ -533,7 +614,7 @@ func (s *Store) relateLocked(from string, kind information.RelKind, to string) (
 	if err := s.appendLocked(); err != nil {
 		return 0, err
 	}
-	if err := s.mem.Relate(from, kind, to); err != nil {
+	if err := s.mem.relate(from, kind, to, s.hasAny); err != nil {
 		// The graph rejected the edge after it hit the log: truncate the
 		// record away. Best-effort — replay skips refused edges anyway, so
 		// a leftover (crash in this window, or a failed truncate) is noise
@@ -551,7 +632,9 @@ func (s *Store) relateLocked(from string, kind information.RelKind, to string) (
 
 // Remove deletes the row for id (and edges touching it), logging the
 // eviction so recovery replays it — the placement-migration path on a
-// durable replica. A missing id is a no-op and logs nothing.
+// durable replica. When an older version of the row may still sit in a
+// segment, the memtable records a tombstone to mask it until compaction
+// drops both. A missing id is a no-op and logs nothing.
 func (s *Store) Remove(id string) (*information.Object, error) {
 	removed, waitSeq, err := s.removeLocked(id)
 	if err != nil || waitSeq == 0 {
@@ -570,11 +653,16 @@ func (s *Store) removeLocked(id string) (*information.Object, uint64, error) {
 	if err := s.writableLocked(); err != nil {
 		return nil, 0, err
 	}
+	cur, live, fromMem := s.lookup(id)
+	if !live {
+		return nil, 0, nil
+	}
+	if fromMem {
+		cur = cur.Clone()
+	}
 	if s.group {
-		removed, err := s.mem.Remove(id)
-		if err != nil || removed == nil {
-			return removed, 0, err
-		}
+		s.mem.kill(id, s.tombNeededLocked())
+		s.live.Add(-1)
 		s.seq++
 		s.payload = appendWALPayload(s.payload[:0], recRemove, s.seq)
 		s.payload = wire.AppendString(s.payload, id)
@@ -583,25 +671,28 @@ func (s *Store) removeLocked(id string) (*information.Object, uint64, error) {
 		}
 		seq := s.seq
 		s.compactIfDueLocked()
-		return removed, seq, nil
+		return cur, seq, nil
 	}
 	// Inline: log the eviction before removing from memory; a failed
-	// append leaves the row in place, matching Exec's discipline. The
-	// existence check keeps no-op removes off the log without cloning.
-	if !s.mem.Has(id) {
-		return nil, 0, nil
-	}
+	// append leaves the row in place, matching Exec's discipline.
 	s.seq++
 	s.payload = appendWALPayload(s.payload[:0], recRemove, s.seq)
 	s.payload = wire.AppendString(s.payload, id)
 	if err := s.appendLocked(); err != nil {
 		return nil, 0, err
 	}
-	removed, err := s.mem.Remove(id)
-	if err == nil && removed != nil {
-		s.compactIfDueLocked()
-	}
-	return removed, 0, err
+	s.mem.kill(id, s.tombNeededLocked())
+	s.live.Add(-1)
+	s.compactIfDueLocked()
+	return cur, 0, nil
+}
+
+// tombNeededLocked reports whether a removal must leave a tombstone: only
+// when segments exist that could hold an older version of the row.
+func (s *Store) tombNeededLocked() bool {
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
+	return len(s.segs) > 0
 }
 
 // appendLocked frames s.payload and writes it to the WAL. On a write
@@ -674,9 +765,9 @@ func (s *Store) enqueueLocked() error {
 }
 
 // waitDurable blocks until seq is durable: covered by a completed flush
-// or by a snapshot. The first waiter that finds no flush in flight
-// becomes the leader and drains the whole queue with one write (and one
-// fsync, if enabled) — that window is the group commit.
+// or by a memtable flush's manifest. The first waiter that finds no
+// flush in flight becomes the leader and drains the whole queue with one
+// write (and one fsync, if enabled) — that window is the group commit.
 func (s *Store) waitDurable(seq uint64) error {
 	g := &s.g
 	g.mu.Lock()
@@ -793,114 +884,29 @@ func validateDurable(o *information.Object) error {
 	return nil
 }
 
-// compactIfDueLocked runs automatic compaction. A compaction failure is
+// compactIfDueLocked runs an automatic memtable flush. A flush failure is
 // counted, not surfaced: the triggering write is already committed and
-// durable in the WAL, and the next append retries the snapshot.
+// durable in the WAL, and the next append retries.
 func (s *Store) compactIfDueLocked() {
 	if s.compactEvery <= 0 || s.sinceSnap < s.compactEvery {
 		return
 	}
-	if err := s.compactLocked(); err != nil {
+	if err := s.compactLocked(false); err != nil {
 		s.stats.CompactionFailures++
 	}
 }
 
-// Compact writes a full-state snapshot and truncates the WAL.
+// Compact synchronously flushes the memtable to a segment, truncates the
+// WAL, and merges every segment into one.
 func (s *Store) Compact() error {
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	return s.compactLocked()
-}
-
-// compactLocked snapshots atomically: stream snapshot.tmp row by row,
-// fsync, rename over snapshot.snap, then truncate the WAL. A crash at
-// any point leaves a recoverable state — before the rename the old
-// snapshot plus the full WAL stands, after it the new snapshot's
-// covered-sequence header makes the not-yet-truncated WAL records no-ops
-// on replay.
-//
-// Rows are encoded one at a time through the scratch buffers into a
-// buffered writer: the snapshot's memory cost is one row plus the write
-// buffer, independent of store size, instead of a second full copy of
-// every row.
-func (s *Store) compactLocked() error {
-	if s.group {
-		// Park the flusher and discard the pending batch: every enqueued
-		// record's mutation is already committed in memory, so the snapshot
-		// about to be written covers it — waiters become durable through
-		// the snapshot instead of the WAL.
-		s.g.mu.Lock()
-		for s.g.flushing {
-			s.g.cond.Wait()
-		}
-		defer func() {
-			s.g.cond.Broadcast()
-			s.g.mu.Unlock()
-		}()
-	}
-
-	rels := s.mem.Relations()
-	tmp := filepath.Join(s.dir, snapTmpName)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("logstore: snapshot: %w", err)
-	}
-	w := bufio.NewWriterSize(f, 1<<16)
-
-	s.payload = append(s.payload[:0], recSnapHeader)
-	s.payload = wire.AppendUint64(s.payload, s.seq)
-	s.payload = wire.AppendUint64(s.payload, uint64(s.mem.Len()))
-	s.payload = wire.AppendUint64(s.payload, uint64(len(rels)))
-	werr := s.writeFrame(w)
-	if werr == nil {
-		s.mem.Range(func(obj *information.Object) bool {
-			s.payload = appendObject(s.payload[:0], obj)
-			werr = s.writeFrame(w)
-			return werr == nil
-		})
-	}
-	for _, rel := range rels {
-		if werr != nil {
-			break
-		}
-		s.payload = appendRelation(s.payload[:0], rel)
-		werr = s.writeFrame(w)
-	}
-	if werr == nil {
-		werr = w.Flush()
-	}
-	if werr == nil {
-		werr = f.Sync()
-	}
-	if werr != nil {
-		f.Close()
-		return fmt.Errorf("logstore: snapshot: %w", werr)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("logstore: snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
-		return fmt.Errorf("logstore: snapshot: %w", err)
-	}
-	// The WAL handle is O_APPEND, so writes after the truncate start at
-	// the new (zero) end of file.
-	if err := os.Truncate(filepath.Join(s.dir, walName), 0); err != nil {
-		return fmt.Errorf("logstore: snapshot: %w", err)
-	}
-	if s.group {
-		s.g.buf = nil
-		s.g.bufRecs = 0
-		s.g.hiDur = s.seq
-		s.g.durSize = 0
-	}
-	s.walSize = 0
-	s.snapSeq = s.seq
-	s.sinceSnap = 0
-	s.stats.Compactions++
-	return nil
+	return s.compactLocked(true)
 }
 
 // writeFrame frames s.payload into the scratch frame buffer and writes it
@@ -915,42 +921,84 @@ func (s *Store) writeFrame(w *bufio.Writer) error {
 	return err
 }
 
-// --- reads (served from the embedded memory store) ------------------------
+// --- reads (resolved across the tiers) ------------------------------------
 
 // Len returns the number of stored objects.
-func (s *Store) Len() int { return s.mem.Len() }
+func (s *Store) Len() int { return int(s.live.Load()) }
 
 // Get returns a copy of the row for id.
-func (s *Store) Get(id string) (*information.Object, bool) { return s.mem.Get(id) }
+func (s *Store) Get(id string) (*information.Object, bool) {
+	obj, live, fromMem := s.lookup(id)
+	if !live {
+		return nil, false
+	}
+	if fromMem {
+		return obj.Clone(), true
+	}
+	return obj, true
+}
 
 // Snapshot returns copies of every row matching pred (nil pred = all).
 func (s *Store) Snapshot(pred func(*information.Object) bool) []*information.Object {
-	return s.mem.Snapshot(pred)
+	var out []*information.Object
+	s.iterate(func(obj *information.Object, fromMem bool) bool {
+		if pred == nil || pred(obj) {
+			if fromMem {
+				obj = obj.Clone()
+			}
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
 }
 
-// Range streams the live rows under the memory store's read lock — the
-// recovery path a Space rebuilds its Merkle digest tree from.
-func (s *Store) Range(fn func(*information.Object) bool) { s.mem.Range(fn) }
+// Range streams the merged live view — memtable over segments — in
+// sorted id order. fn may receive a live memtable row and must honour
+// the read-only contract. This is the recovery path a Space rebuilds its
+// Merkle digest tree from: segment rows stream through a fixed-size
+// buffer, so the rebuild never materialises the store in memory.
+func (s *Store) Range(fn func(*information.Object) bool) {
+	s.iterate(func(obj *information.Object, _ bool) bool { return fn(obj) })
+}
 
 // Digest summarises every row's version vector for anti-entropy exchange.
-func (s *Store) Digest() map[string]vclock.Version { return s.mem.Digest() }
+func (s *Store) Digest() map[string]vclock.Version {
+	out := make(map[string]vclock.Version, s.Len())
+	s.iterate(func(obj *information.Object, _ bool) bool {
+		out[obj.ID] = obj.VV.Clone()
+		return true
+	})
+	return out
+}
 
-// NewerThan returns copies of rows the given digest has not fully seen.
+// NewerThan returns copies of rows the given digest has not fully seen —
+// already sorted by id, which the merged iteration yields for free.
 func (s *Store) NewerThan(digest map[string]vclock.Version) []*information.Object {
-	return s.mem.NewerThan(digest)
+	var out []*information.Object
+	s.iterate(func(obj *information.Object, fromMem bool) bool {
+		if seen, ok := digest[obj.ID]; !ok || !seen.Dominates(obj.VV) {
+			if fromMem {
+				obj = obj.Clone()
+			}
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
 }
 
 // Related returns directly related object ids, sorted.
 func (s *Store) Related(from string, kind information.RelKind) []string {
-	return s.mem.Related(from, kind)
+	return s.mem.related(from, kind)
 }
 
 // Dependents returns ids of objects that relate TO the given id.
 func (s *Store) Dependents(to string, kind information.RelKind) []string {
-	return s.mem.Dependents(to, kind)
+	return s.mem.dependents(to, kind)
 }
 
 // Closure returns all ids transitively reachable from id over kind.
 func (s *Store) Closure(from string, kind information.RelKind) []string {
-	return s.mem.Closure(from, kind)
+	return s.mem.closure(from, kind)
 }

@@ -38,6 +38,10 @@ const (
 	DefaultFailureCooldown = 4
 	// DefaultNegativeCacheSize bounds the negative-lookup cache.
 	DefaultNegativeCacheSize = 1024
+	// DefaultNegativeTTL bounds how stale a cached miss may grow: an id
+	// created later at a remote-only site becomes readable again within
+	// one TTL even if this site never writes and the policy never moves.
+	DefaultNegativeTTL = 30 * time.Second
 )
 
 // OfferID builds the deterministic trader offer id for a (site, space)
@@ -158,9 +162,10 @@ type ReaderStats struct {
 	Attempts int64 // per-holder rpc attempts (retries across offers)
 	NoHolder int64 // read-throughs that exhausted every offer
 
-	NegativeHits   int64 // reads short-circuited by the negative cache
-	NegativeStores int64 // definitive misses recorded in the cache
-	SkippedHolders int64 // recently-failed holders deferred to the scan tail
+	NegativeHits    int64 // reads short-circuited by the negative cache
+	NegativeStores  int64 // definitive misses recorded in the cache
+	NegativeExpired int64 // cached misses dropped by the staleness TTL
+	SkippedHolders  int64 // recently-failed holders deferred to the scan tail
 
 	Forwards  int64 // write forwards attempted
 	Forwarded int64 // write forwards a holder accepted
@@ -198,6 +203,20 @@ func WithNegativeCacheSize(n int) ReaderOption {
 	}
 }
 
+// WithNegativeTTL bounds the staleness of cached misses: a negative
+// entry older than ttl (by the given clock) is dropped and the read
+// walks the holders again. This closes the staleness window documented
+// on WithNegativeCache — an id that springs into existence at a
+// remote-only site becomes readable within one TTL, without waiting for
+// a local write, a policy change, or a capacity eviction. ttl <= 0 or a
+// nil clock disables expiry (version/generation scoping still applies).
+func WithNegativeTTL(ttl time.Duration, now func() time.Time) ReaderOption {
+	return func(r *Reader) {
+		r.negTTL = ttl
+		r.now = now
+	}
+}
+
 // WithFailureCooldown sets for how many subsequent resolutions a failed
 // holder is deferred to the tail of the scan (default
 // DefaultFailureCooldown); 0 disables the deferral.
@@ -206,10 +225,12 @@ func WithFailureCooldown(n int) ReaderOption {
 }
 
 // negEntry scopes one cached miss: valid only while both the policy
-// version and the local write generation are unchanged.
+// version and the local write generation are unchanged, and — when a
+// TTL is configured — only within the staleness bound of its store time.
 type negEntry struct {
 	policyVer uint64
 	gen       uint64
+	at        time.Time
 }
 
 // Reader performs trader-mediated remote resolutions for one site:
@@ -225,6 +246,8 @@ type Reader struct {
 	timeout  time.Duration
 	policy   *Policy // enables the negative cache when set
 	negCap   int
+	negTTL   time.Duration    // bounded staleness of cached misses; 0 = no expiry
+	now      func() time.Time // clock the TTL is measured against
 	cooldown int
 
 	mu    sync.Mutex
@@ -285,6 +308,11 @@ func (r *Reader) negHit(objID string) bool {
 		delete(r.neg, objID)
 		return false
 	}
+	if r.negTTL > 0 && r.now != nil && r.now().Sub(e.at) > r.negTTL {
+		delete(r.neg, objID)
+		r.stats.NegativeExpired++
+		return false
+	}
 	r.stats.NegativeHits++
 	return true
 }
@@ -304,7 +332,11 @@ func (r *Reader) negStore(objID string) {
 			break
 		}
 	}
-	r.neg[objID] = negEntry{policyVer: pv, gen: r.gen}
+	e := negEntry{policyVer: pv, gen: r.gen}
+	if r.negTTL > 0 && r.now != nil {
+		e.at = r.now()
+	}
+	r.neg[objID] = e
 	r.stats.NegativeStores++
 }
 

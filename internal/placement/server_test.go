@@ -135,6 +135,42 @@ func TestNegativeCacheShortCircuitsRepeatedMisses(t *testing.T) {
 	}
 }
 
+// TestNegativeCacheTTLBoundsStaleness: with a TTL configured, a cached
+// miss expires on the clock — an id created later at a remote-only
+// holder becomes readable within one TTL, with no local write (Bump)
+// and no policy change on the reading site.
+func TestNegativeCacheTTLBoundsStaleness(t *testing.T) {
+	var f *readFixture
+	f = newReadFixture(t, []string{"h0", "h1"},
+		WithNegativeTTL(5*time.Second, func() time.Time { return f.clk.Now() }))
+
+	if err := f.read(t, "info-late"); !errors.Is(err, ErrNoHolder) {
+		t.Fatalf("first read err = %v, want ErrNoHolder", err)
+	}
+	if err := f.read(t, "info-late"); !errors.Is(err, ErrNoHolder) {
+		t.Fatalf("cached read err = %v", err)
+	}
+	s := f.reader.Stats()
+	if s.NegativeStores != 1 || s.NegativeHits != 1 || s.Attempts != 2 {
+		t.Fatalf("pre-expiry stats = %+v", s)
+	}
+
+	// The object now springs into existence at a holder, and the TTL
+	// elapses. No Bump, no policy change.
+	if _, _, err := f.spaces["h0"].ApplyRemote(mkObject(f.clk, "info-late")); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(6 * time.Second)
+
+	if err := f.read(t, "info-late"); err != nil {
+		t.Fatalf("post-expiry read err = %v, want served", err)
+	}
+	s = f.reader.Stats()
+	if s.NegativeExpired != 1 || s.Served != 1 {
+		t.Fatalf("post-expiry stats = %+v", s)
+	}
+}
+
 // TestMissesAcrossDownHoldersAreNotCached: a read that failed because a
 // holder was unreachable is not a definitive miss — the object might
 // live exactly there — so it must not enter the negative cache.

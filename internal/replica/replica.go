@@ -253,12 +253,17 @@ type peer struct {
 
 // scopedTree caches a placement-scoped digest tree toward one peer site,
 // tagged with the full tree's generation and the policy version it was
-// built under so any local commit or policy change invalidates it.
+// current under. Entries are built by one full-store scan in treeFor and
+// then kept current incrementally: every commit fans into them through
+// maintainScoped, so the generation stamp advances with the full tree
+// and the scan never repeats while the entry lives. A policy change
+// (policy version) still discards the entry wholesale — placement rules
+// can re-scope arbitrary subsets, which only a rescan can recover.
 type scopedTree struct {
 	tree      *information.DigestTree
 	gen       uint64
 	policyVer uint64
-	excluded  int64 // rows placement kept out of this tree at build time
+	excluded  int64 // rows placement is currently keeping out of this tree
 }
 
 // Replicator binds one Space replica to the network: it serves the
@@ -277,6 +282,7 @@ type Replicator struct {
 	peers          []peer
 	legacyPeers    map[netsim.Address]bool // peers that don't serve MethodDigest
 	scoped         map[string]scopedTree   // per-peer-site placement-scoped trees
+	commitEvents   uint64                  // row-changing space events seen by maintainScoped
 	interval       time.Duration
 	failureCap     int
 	auto           bool
@@ -305,6 +311,12 @@ func New(ep *rpc.Endpoint, clock vclock.Clock, space *information.Space, opts ..
 	}
 	for _, opt := range opts {
 		opt(r)
+	}
+	if r.policy != nil {
+		// Keep the per-peer scoped trees current from the commit path:
+		// space callbacks run synchronously on the mutating goroutine,
+		// after the full tree has absorbed the commit.
+		r.space.Subscribe("", r.maintainScoped)
 	}
 	r.register()
 	return r
@@ -376,6 +388,46 @@ func (r *Replicator) placedAt(site string, o *information.Object) bool {
 		return true
 	}
 	return r.policy.PlacedAt(site, placement.Describe(o))
+}
+
+// maintainScoped fans one committed row into every cached per-peer
+// scoped tree, replacing the full-store rescan treeFor used to pay on
+// the round after any commit. The callback runs synchronously on the
+// mutating goroutine after the full tree absorbed the commit, so
+// stamping entries with the full tree's current generation keeps
+// treeFor's cache check passing: once writes quiesce, every commit's
+// callback has run and the cached trees match a fresh scoped build
+// exactly. A row whose new fields move it out of the peer's placement is
+// removed from that peer's tree — placement is re-evaluated per commit,
+// not only at build time.
+func (r *Replicator) maintainScoped(ev information.Event) {
+	switch ev.Kind {
+	case "put", "update", "apply", "conflict", "evict":
+	default:
+		return // "share"/"relate" do not change replicated object rows
+	}
+	full := r.space.Tree()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.commitEvents++ // invalidates any treeFor scan in flight
+	if len(r.scoped) == 0 {
+		return
+	}
+	gen, pv := full.Generation(), r.policy.Version()
+	for site, c := range r.scoped {
+		if c.policyVer != pv {
+			delete(r.scoped, site) // policy changed under the entry; rescan
+			continue
+		}
+		if ev.Kind == "evict" || !r.placedAt(site, ev.Object) {
+			c.tree.Remove(ev.Object.ID)
+		} else {
+			c.tree.Update(ev.Object.ID, ev.Object.VV)
+		}
+		c.gen = gen
+		c.excluded = int64(full.Count() - c.tree.Count())
+		r.scoped[site] = c
+	}
 }
 
 // AutoSync arms idle-aware anti-entropy: local writes to the space
@@ -625,14 +677,14 @@ func (r *Replicator) applyDeltas(deltas []wireObject) (applied int) {
 // named peer site: the space's own incremental tree when placement is
 // non-selective (or the peer is untagged), otherwise a cached tree
 // scoped to the rows placed at that site — the per-peer view that lets
-// partially-replicated pairs compare equal once converged. The cache is
-// invalidated by any local commit (full-tree generation) or policy
-// change (policy version), and a rebuild scans the whole store: under
-// selective placement with steady writes that is O(rows) CPU per peer
-// per changed round, local work traded for the O(1)/O(log n) wire cost
-// the negotiation is about. Incremental per-peer maintenance (fanning
-// commits out to the scoped trees) is the known next step if that scan
-// ever shows up in profiles (see ROADMAP).
+// partially-replicated pairs compare equal once converged. An entry is
+// built by one full-store scan and thereafter maintained incrementally
+// from the commit path (maintainScoped), so steady writes cost O(1) per
+// peer per commit instead of an O(rows) rescan per changed round. The
+// scan itself is guarded by the commit-event counter: if a commit lands
+// while the scan runs, the result may miss it, so it is returned for
+// this round but not cached — the next call rebuilds from a consistent
+// view. A policy change (version bump) always forces a rescan.
 func (r *Replicator) treeFor(site string) *information.DigestTree {
 	full := r.space.Tree()
 	if r.policy == nil || site == "" || !r.policy.Selective() {
@@ -644,6 +696,7 @@ func (r *Replicator) treeFor(site string) *information.DigestTree {
 		r.mu.Unlock()
 		return c.tree
 	}
+	ev0 := r.commitEvents
 	r.mu.Unlock()
 	t := information.NewDigestTree()
 	excluded := int64(0)
@@ -656,7 +709,12 @@ func (r *Replicator) treeFor(site string) *information.DigestTree {
 		return true
 	})
 	r.mu.Lock()
-	r.scoped[site] = scopedTree{tree: t, gen: gen, policyVer: pv, excluded: excluded}
+	if r.commitEvents == ev0 {
+		// No commit raced the scan: the entry is complete, and from here
+		// maintainScoped keeps it current — this site never rescans
+		// again until the placement policy changes.
+		r.scoped[site] = scopedTree{tree: t, gen: gen, policyVer: pv, excluded: excluded}
+	}
 	r.mu.Unlock()
 	return t
 }

@@ -1,0 +1,159 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"mocca/internal/id"
+	"mocca/internal/information"
+	"mocca/internal/netsim"
+	"mocca/internal/placement"
+	"mocca/internal/rpc"
+	"mocca/internal/vclock"
+)
+
+// newScopedBench builds one standalone replicator under a selective
+// placement policy (body=scoped rows live only at {s0, s1}) with no
+// peers — enough to exercise treeFor's per-peer scoped-tree cache
+// without network traffic.
+func newScopedRig(tb testing.TB) (*information.Space, *Replicator, *placement.Policy) {
+	tb.Helper()
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(7))
+	registry := information.NewSchemaRegistry()
+	if err := registry.Register(information.Schema{Name: "doc", Fields: []information.Field{
+		{Name: "title", Type: information.FieldText, Required: true},
+		{Name: "body", Type: information.FieldText},
+	}}); err != nil {
+		tb.Fatal(err)
+	}
+	ids := id.New()
+	pol := placement.NewPolicy()
+	pol.Use(placement.ByField("body", "scoped", "s0", "s1"))
+	sp := information.NewSpace(registry, nil, clk,
+		information.WithSite("s0"), information.WithIDs(ids))
+	ep := rpc.NewEndpoint(net.MustAddNode("scoped-s0"), clk, rpc.WithIDs(ids))
+	return sp, New(ep, clk, sp, WithPlacement(pol)), pol
+}
+
+// scopedRootOf builds the reference answer the cache must match: a
+// fresh digest tree over exactly the rows placement puts at site.
+func scopedRootOf(r *Replicator, site string) uint64 {
+	t := information.NewDigestTree()
+	r.space.Range(func(o *information.Object) bool {
+		if r.placedAt(site, o) {
+			t.Update(o.ID, o.VV)
+		}
+		return true
+	})
+	return t.Root()
+}
+
+// TestScopedTreeIncrementalMaintenance: after treeFor builds a per-peer
+// tree once, further commits must be fanned into the cached tree by the
+// commit-path subscriber — same pointer back (no rescan), content equal
+// to a fresh placement-scoped build, including rows whose update moves
+// them across the placement boundary and evicted rows.
+func TestScopedTreeIncrementalMaintenance(t *testing.T) {
+	sp, rep, pol := newScopedRig(t)
+	var open, scoped *information.Object
+	var err error
+	for i := 0; i < 8; i++ {
+		body := ""
+		if i%2 == 0 {
+			body = "scoped"
+		}
+		o, perr := sp.Put("ada", "doc", map[string]string{"title": fmt.Sprintf("doc %d", i), "body": body})
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if i == 0 {
+			scoped = o
+		}
+		if i == 1 {
+			open = o
+		}
+	}
+	_ = scoped
+
+	t1 := rep.treeFor("s2") // s2 holds only the open rows
+	if got, want := t1.Root(), scopedRootOf(rep, "s2"); got != want {
+		t.Fatalf("initial scoped root = %x, want %x", got, want)
+	}
+
+	// New commits on both sides of the placement boundary.
+	if _, err = sp.Put("ada", "doc", map[string]string{"title": "late open"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = sp.Put("ada", "doc", map[string]string{"title": "late scoped", "body": "scoped"}); err != nil {
+		t.Fatal(err)
+	}
+	// An update that moves a row INTO the scoped set (out of s2's view)...
+	if open, err = sp.Update("ada", open.ID, open.Version, map[string]string{"title": "now secret", "body": "scoped"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and an eviction.
+	if _, err = sp.Drop(open.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	t2 := rep.treeFor("s2")
+	if t1 != t2 {
+		t.Fatal("treeFor rebuilt the scoped tree; commits should maintain the cached one")
+	}
+	if got, want := t2.Root(), scopedRootOf(rep, "s2"); got != want {
+		t.Fatalf("maintained scoped root = %x, want %x", got, want)
+	}
+	// The ScopeFiltered gauge tracks what the maintained tree excludes.
+	if s := rep.Stats(); s.ScopeFiltered == 0 {
+		t.Fatalf("ScopeFiltered gauge empty after maintenance: %+v", s)
+	}
+
+	// A policy change must force a full rescan under the new rules.
+	pol.Use(placement.ByField("body", "scoped", "s0", "s2"))
+	t3 := rep.treeFor("s2")
+	if t3 == t2 {
+		t.Fatal("policy change did not invalidate the scoped tree")
+	}
+	if got, want := t3.Root(), scopedRootOf(rep, "s2"); got != want {
+		t.Fatalf("post-policy scoped root = %x, want %x", got, want)
+	}
+}
+
+// BenchmarkScopedTreeAfterCommit prices treeFor right after a local
+// commit — the steady-state of a writing replica under selective
+// placement. "incremental" is the shipped path: the commit was fanned
+// into the cached tree, treeFor is a cache hit. "rebuild" simulates the
+// previous design by discarding the cache entry each round, forcing the
+// O(rows) full-store rescan the incremental path replaces.
+func BenchmarkScopedTreeAfterCommit(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, mode := range []string{"incremental", "rebuild"} {
+			b.Run(fmt.Sprintf("%s/rows=%d", mode, n), func(b *testing.B) {
+				sp, rep, _ := newScopedRig(b)
+				for i := 0; i < n; i++ {
+					body := ""
+					if i%2 == 0 {
+						body = "scoped"
+					}
+					if _, err := sp.Put("ada", "doc", map[string]string{"title": fmt.Sprintf("doc %d", i), "body": body}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rep.treeFor("s2")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sp.Put("ada", "doc", map[string]string{"title": fmt.Sprintf("hot %d", i)}); err != nil {
+						b.Fatal(err)
+					}
+					if mode == "rebuild" {
+						rep.mu.Lock()
+						delete(rep.scoped, "s2")
+						rep.mu.Unlock()
+					}
+					rep.treeFor("s2")
+				}
+			})
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"slices"
 	"sync"
 )
@@ -335,6 +336,41 @@ func NextRecord(data []byte) (payload, rest []byte, err error) {
 		return nil, data, ErrBadCRC
 	}
 	return payload, data[RecordOverhead+int(n):], nil
+}
+
+// ReadRecord reads the next record from r into scratch (grown as needed)
+// and returns the payload plus the possibly-reallocated scratch buffer —
+// the streaming counterpart of NextRecord for callers iterating a log too
+// large to hold in memory. A clean end of stream returns io.EOF; a stream
+// ending inside a record returns ErrTruncated; framing and checksum
+// failures return the same errors as NextRecord. The payload aliases
+// scratch and is only valid until the next call.
+func ReadRecord(r io.Reader, scratch []byte) (payload, newScratch []byte, err error) {
+	var hdr [RecordOverhead]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, scratch, io.EOF
+		}
+		return nil, scratch, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(hdr[:]) != recordMagic {
+		return nil, scratch, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(hdr[2:])
+	if uint64(n) >= maxBodyLen {
+		return nil, scratch, fmt.Errorf("%w: %d-byte record", ErrOversize, n)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return nil, scratch, ErrTruncated
+	}
+	if crc32.ChecksumIEEE(scratch) != binary.BigEndian.Uint32(hdr[6:]) {
+		return nil, scratch, ErrBadCRC
+	}
+	return scratch, scratch, nil
 }
 
 // --- codec helpers --------------------------------------------------------

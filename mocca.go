@@ -123,15 +123,18 @@ func WithSiteBackend(fn func(site string) (information.Backend, error)) Option {
 	return func(d *Deployment) { d.backendFor = fn }
 }
 
-// WithDurableStore keeps every site's information replica in a
-// log-structured store under dir/<site> (write-ahead log + periodic
-// snapshot, see internal/information/logstore). A site killed with
-// Site.Crash and brought back with Site.Restart recovers its replica
-// from disk and re-enters anti-entropy with correct digests, so peers
-// send it only what it missed.
-func WithDurableStore(dir string) Option {
+// WithDurableStore keeps every site's information replica in a tiered
+// log-structured store under dir/<site> (write-ahead log + sorted
+// segment files + manifest, see internal/information/logstore). A site
+// killed with Site.Crash and brought back with Site.Restart recovers
+// its replica from disk and re-enters anti-entropy with correct
+// digests, so peers send it only what it missed. Store tuning knobs —
+// logstore.WithFsync, WithGroupCommit, WithCompactEvery,
+// WithMergeFanout, WithBackgroundMerge — pass through to every site's
+// store, first boot and restart alike.
+func WithDurableStore(dir string, opts ...logstore.Option) Option {
 	return WithSiteBackend(func(site string) (information.Backend, error) {
-		return logstore.Open(filepath.Join(dir, site))
+		return logstore.Open(filepath.Join(dir, site), opts...)
 	})
 }
 
@@ -322,7 +325,8 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 	site := &Site{Name: name, Domain: domain, dep: d, mta: mta, env: senv, repl: repl, replEP: replEP}
 	site.readEP = d.newEndpoint(site.readAddr())
 	site.reader = placement.NewReader(site.readEP, d.env.Trader(), name,
-		placement.WithNegativeCache(d.env.Placement()))
+		placement.WithNegativeCache(d.env.Placement()),
+		placement.WithNegativeTTL(placement.DefaultNegativeTTL, d.clock.Now))
 	site.readServer = placement.NewReadServer(site.readEP, name,
 		func() *information.Space { return site.env.Space() },
 		placement.WithHolderPolicy(d.env.Placement()))
@@ -709,7 +713,8 @@ func (s *Site) Restart() error {
 	s.repl = replica.New(s.replEP, d.clock, s.env.Space(), d.replicaOptions()...)
 	s.readEP = d.endpointAt(s.readAddr())
 	s.reader = placement.NewReader(s.readEP, d.env.Trader(), s.Name,
-		placement.WithNegativeCache(d.env.Placement()))
+		placement.WithNegativeCache(d.env.Placement()),
+		placement.WithNegativeTTL(placement.DefaultNegativeTTL, d.clock.Now))
 	s.readServer = placement.NewReadServer(s.readEP, s.Name,
 		func() *information.Space { return s.env.Space() },
 		placement.WithHolderPolicy(d.env.Placement()))
