@@ -45,26 +45,31 @@ func segName(id uint64) string { return fmt.Sprintf("seg-%08d.seg", id) }
 // flusher is parked and the pending batch discarded — every enqueued
 // record's mutation is already committed in memory, so the manifest about
 // to be written covers it and waiters become durable through the segments
-// instead of the WAL.
+// instead of the WAL. g.mu is held across the flush only and released
+// before any merging: mergeAllLocked drops and re-takes s.mu, and holding
+// g.mu through that inverts the documented s.mu-before-g.mu order against
+// a writer that took s.mu and is blocked on g.mu in enqueueLocked —
+// a deadlock.
 func (s *Store) compactLocked(mergeAll bool) error {
 	if s.group {
 		s.g.mu.Lock()
 		for s.g.flushing {
 			s.g.cond.Wait()
 		}
-		defer func() {
-			s.g.cond.Broadcast()
-			s.g.mu.Unlock()
-		}()
-	}
-	if err := s.flushLocked(); err != nil {
+		err := s.flushLocked()
+		if err == nil {
+			s.g.buf = nil
+			s.g.bufRecs = 0
+			s.g.hiDur = s.seq
+			s.g.durSize = 0
+		}
+		s.g.cond.Broadcast()
+		s.g.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	} else if err := s.flushLocked(); err != nil {
 		return err
-	}
-	if s.group {
-		s.g.buf = nil
-		s.g.bufRecs = 0
-		s.g.hiDur = s.seq
-		s.g.durSize = 0
 	}
 	if mergeAll {
 		return s.mergeAllLocked()
@@ -478,12 +483,20 @@ func (s *Store) mergeSegments(inputs []*segment, outID uint64, outLevel int, dro
 
 // segLookup probes the segments newest-first for id, maintaining the
 // probe counters. ok distinguishes a live row from absence (including a
-// tombstone masking older versions).
-func (s *Store) segLookup(id string) (*information.Object, bool) {
+// tombstone masking older versions). A probe that fails (pread error,
+// corrupt chunk) aborts the scan: treating it as a miss and falling
+// through would let an older segment answer with a stale version, or
+// report a tombstoned row as absent so a caller recreates it with a
+// fresh version vector.
+func (s *Store) segLookup(id string) (*information.Object, bool, error) {
 	segs := s.acquireSegs()
 	defer releaseSegs(segs)
 	for _, g := range segs {
-		obj, probe, _ := g.get(id)
+		obj, probe, err := g.get(id)
+		if err != nil {
+			s.readFailures.Add(1)
+			return nil, false, fmt.Errorf("logstore: segment %s: read %q: %w", filepath.Base(g.path), id, err)
+		}
 		switch probe {
 		case probeSkipRange:
 			s.rangeFiltered.Add(1)
@@ -494,32 +507,35 @@ func (s *Store) segLookup(id string) (*information.Object, bool) {
 			s.bloomFalse.Add(1)
 		case probeRow:
 			s.segProbes.Add(1)
-			return obj, true
+			return obj, true, nil
 		case probeTomb:
 			s.segProbes.Add(1)
-			return nil, false
+			return nil, false, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // lookup resolves id across every tier: memtable first (rows and
 // tombstones both answer authoritatively), then segments newest-first.
 // fromMem rows alias live memtable state.
-func (s *Store) lookup(id string) (obj *information.Object, live, fromMem bool) {
+func (s *Store) lookup(id string) (obj *information.Object, live, fromMem bool, err error) {
 	if obj, tomb, found := s.mem.get(id); found {
 		if tomb {
-			return nil, false, false
+			return nil, false, false, nil
 		}
-		return obj, true, true
+		return obj, true, true, nil
 	}
-	obj, ok := s.segLookup(id)
-	return obj, ok, false
+	obj, ok, err := s.segLookup(id)
+	return obj, ok, false, err
 }
 
 // hasAny reports whether id is live in any tier — the endpoint-existence
-// check behind Relate and WAL replay.
+// check behind Relate and WAL replay. A failed segment probe reads as
+// absent (counted in Stats): Relate then refuses the edge rather than
+// building on a row it cannot see, and replay's idempotence makes the
+// miscount self-correcting on the next recovery.
 func (s *Store) hasAny(id string) bool {
-	_, live, _ := s.lookup(id)
+	_, live, _, _ := s.lookup(id)
 	return live
 }

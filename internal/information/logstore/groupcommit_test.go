@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mocca/internal/information"
 	"mocca/internal/vclock"
@@ -182,5 +184,63 @@ func TestGroupCommitClosedStore(t *testing.T) {
 	defer re.Close()
 	if re.Len() != 4 {
 		t.Fatalf("recovered %d rows", re.Len())
+	}
+}
+
+// TestGroupCommitCompactVsExecNoDeadlock: the explicit Compact path in
+// group-commit mode must not hold the group mutex across the merge phase.
+// Merging drops and re-takes the store mutex, so a writer holding the
+// store mutex while blocked on the group mutex (enqueueLocked) deadlocked
+// both — this is the s.mu-before-g.mu lock-order regression test.
+func TestGroupCommitCompactVsExecNoDeadlock(t *testing.T) {
+	st, err := Open(t.TempDir(), WithGroupCommit(true), WithCompactEvery(0), WithBackgroundMerge(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	seedStore(t, st, 8, 17)
+
+	writerDone := make(chan error, 1)
+	compactDone := make(chan error, 1)
+	var stop atomic.Bool
+	go func() {
+		// Write until the compactor is done, so every merge window has a
+		// concurrent writer contending for the mutexes.
+		for i := 0; !stop.Load(); i++ {
+			id := fmt.Sprintf("row-%03d", i%32)
+			vv := vclock.NewVersion("gmd")
+			if _, err := st.Exec(id, func(*information.Object) (*information.Object, error) {
+				return &information.Object{
+					ID: id, Schema: "doc", Owner: "ada",
+					Version: vv.Sum(), VV: vv, Site: "gmd", Created: t0, Updated: t1,
+				}, nil
+			}); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+		writerDone <- nil
+	}()
+	go func() {
+		defer stop.Store(true)
+		for i := 0; i < 200; i++ {
+			if err := st.Compact(); err != nil {
+				compactDone <- err
+				return
+			}
+		}
+		compactDone <- nil
+	}()
+
+	timeout := time.After(60 * time.Second)
+	for _, ch := range []chan error{writerDone, compactDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("deadlock: Compact vs Exec under group commit")
+		}
 	}
 }

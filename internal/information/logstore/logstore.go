@@ -100,6 +100,12 @@ type Stats struct {
 	BloomFalsePositives int64
 	KeyRangeFiltered    int64
 
+	// SegmentReadFailures counts point reads aborted by a segment I/O or
+	// decode error. Exec/Remove surface the error to the caller; Get's
+	// signature has no error slot, so this counter is where those
+	// failures become visible.
+	SegmentReadFailures int64
+
 	RecoveredObjects   int   // rows live after Open (manifest + replay)
 	RecoveredRelations int   // edges loaded by Open
 	ReplayedRecords    int   // WAL records applied by Open
@@ -199,6 +205,7 @@ type Store struct {
 	bloomFiltered atomic.Int64
 	bloomFalse    atomic.Int64
 	rangeFiltered atomic.Int64
+	readFailures  atomic.Int64
 
 	// Background compactor plumbing. Lock order: mergeMu before s.mu.
 	mergeMu   sync.Mutex // serialises level merges (background vs Compact)
@@ -357,6 +364,7 @@ func (s *Store) Stats() Stats {
 	out.BloomFiltered = s.bloomFiltered.Load()
 	out.BloomFalsePositives = s.bloomFalse.Load()
 	out.KeyRangeFiltered = s.rangeFiltered.Load()
+	out.SegmentReadFailures = s.readFailures.Load()
 	return out
 }
 
@@ -531,7 +539,10 @@ func (s *Store) execLocked(id string, fn func(cur *information.Object) (*informa
 	if err := s.writableLocked(); err != nil {
 		return nil, 0, err
 	}
-	cur, live, fromMem := s.lookup(id)
+	cur, live, fromMem, err := s.lookup(id)
+	if err != nil {
+		return nil, 0, err
+	}
 	if live && fromMem {
 		// fn gets a clone, not the live row: engine mutation paths edit
 		// their argument in place, and a mutation that fails validation or
@@ -653,7 +664,10 @@ func (s *Store) removeLocked(id string) (*information.Object, uint64, error) {
 	if err := s.writableLocked(); err != nil {
 		return nil, 0, err
 	}
-	cur, live, fromMem := s.lookup(id)
+	cur, live, fromMem, err := s.lookup(id)
+	if err != nil {
+		return nil, 0, err
+	}
 	if !live {
 		return nil, 0, nil
 	}
@@ -926,10 +940,12 @@ func (s *Store) writeFrame(w *bufio.Writer) error {
 // Len returns the number of stored objects.
 func (s *Store) Len() int { return int(s.live.Load()) }
 
-// Get returns a copy of the row for id.
+// Get returns a copy of the row for id. A segment read failure reads as
+// absent without falling through to older segments; it is counted in
+// Stats.SegmentReadFailures (the Backend signature has no error slot).
 func (s *Store) Get(id string) (*information.Object, bool) {
-	obj, live, fromMem := s.lookup(id)
-	if !live {
+	obj, live, fromMem, err := s.lookup(id)
+	if err != nil || !live {
 		return nil, false
 	}
 	if fromMem {

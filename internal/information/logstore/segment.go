@@ -486,7 +486,13 @@ func (it *segIter) next() (flushEntry, bool, error) {
 	it.scratch = scratch
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return flushEntry{}, false, nil
+			// remain > 0 here (the guard above returned otherwise), so the
+			// data region ended before yielding every record the metadata
+			// promised: the file was truncated at a record boundary. That
+			// is corruption, not a clean end — reporting it as one would
+			// silently drop the missing rows from merged iteration and
+			// from compaction output.
+			return flushEntry{}, false, fmt.Errorf("%w: segment truncated mid-data", ErrCorrupt)
 		}
 		return flushEntry{}, false, err
 	}

@@ -1,6 +1,7 @@
 package logstore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -335,5 +336,102 @@ func TestRecoveryIsMetadataBound(t *testing.T) {
 	// The digest rebuild streams the segments — same bytes as before.
 	if got := st2.Digest(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("digest diverged across metadata-bound recovery")
+	}
+}
+
+// TestTruncatedSegmentSurfacesCorrupt: a segment file cut exactly at a
+// record boundary (external truncation / bit rot) must end iteration with
+// ErrCorrupt — a clean end would silently drop the missing rows from
+// Range/Digest/Snapshot and from compaction output.
+func TestTruncatedSegmentSurfacesCorrupt(t *testing.T) {
+	st, err := Open(t.TempDir(), WithCompactEvery(0), WithBackgroundMerge(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 2*segIndexEvery; i++ {
+		put(t, st, fmt.Sprintf("row-%03d", i), vclock.NewVersion("gmd"), "gmd", nil)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segs := st.acquireSegs()
+	defer releaseSegs(segs)
+	if len(segs) != 1 {
+		t.Fatalf("%d segments after Compact, want 1", len(segs))
+	}
+	g := segs[0]
+	if len(g.index) < 2 {
+		t.Fatalf("segment index has %d entries, want >= 2", len(g.index))
+	}
+	// g.index[1].off is the byte offset of row segIndexEvery — an exact
+	// record boundary inside the data region.
+	if err := os.Truncate(g.path, g.index[1].off); err != nil {
+		t.Fatal(err)
+	}
+	it := g.iter()
+	var iterErr error
+	rows := 0
+	for {
+		_, ok, err := it.next()
+		if err != nil {
+			iterErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		rows++
+	}
+	if !errors.Is(iterErr, ErrCorrupt) {
+		t.Fatalf("truncated segment ended cleanly after %d/%d rows (err = %v), want ErrCorrupt", rows, g.count, iterErr)
+	}
+}
+
+// TestSegmentReadErrorAbortsLookup: bit rot in a segment's data region
+// must abort the newest-first scan and surface as an Exec/Remove error —
+// not decode as a miss that hands Exec a nil row (which would recreate it
+// with a fresh version vector) or fall through to an older segment.
+func TestSegmentReadErrorAbortsLookup(t *testing.T) {
+	st, err := Open(t.TempDir(), WithCompactEvery(0), WithBackgroundMerge(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 8; i++ {
+		put(t, st, fmt.Sprintf("row-%03d", i), vclock.NewVersion("gmd"), "gmd", nil)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segs := st.acquireSegs()
+	path := segs[0].path
+	releaseSegs(segs)
+	// Rot the first data record's framing in place.
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Exec("row-000", func(cur *information.Object) (*information.Object, error) {
+		t.Error("Exec callback ran against a corrupt segment probe")
+		return nil, nil
+	}); err == nil {
+		t.Fatal("Exec over a corrupt segment chunk succeeded")
+	}
+	if _, err := st.Remove("row-000"); err == nil {
+		t.Fatal("Remove over a corrupt segment chunk succeeded")
+	}
+	if _, ok := st.Get("row-000"); ok {
+		t.Fatal("Get returned a row decoded from a corrupt chunk")
+	}
+	if got := st.Stats().SegmentReadFailures; got == 0 {
+		t.Fatal("segment read failures not counted in Stats")
 	}
 }
