@@ -1,0 +1,374 @@
+package gossip
+
+import (
+	"errors"
+	"sort"
+
+	"mocca/internal/information"
+	"mocca/internal/netsim"
+	"mocca/internal/rpc"
+	"mocca/internal/vclock"
+)
+
+// errClosed answers protocol calls that land on a crashed overlay.
+var errClosed = errors.New("gossip: overlay closed")
+
+// WireObject is the row wire form rumor fetches carry — the same one the
+// anti-entropy and placement protocols use.
+type WireObject = information.WireObject
+
+// --- wire types ------------------------------------------------------------
+
+type joinReq struct {
+	Joiner Peer `json:"joiner"`
+}
+
+// joinResp bootstraps the joiner: the contact's identity plus a sample
+// of its views.
+type joinResp struct {
+	Me      Peer   `json:"me"`
+	Active  []Peer `json:"active,omitempty"`
+	Passive []Peer `json:"passive,omitempty"`
+}
+
+type forwardJoinReq struct {
+	Joiner Peer `json:"joiner"`
+	TTL    int  `json:"ttl"`
+}
+
+type ack struct{}
+
+type neighborReq struct {
+	From Peer `json:"from"`
+}
+
+type neighborResp struct {
+	Accepted bool `json:"accepted"`
+}
+
+type shuffleReq struct {
+	From   Peer   `json:"from"`
+	Sample []Peer `json:"sample"`
+}
+
+type shuffleResp struct {
+	Sample []Peer `json:"sample"`
+}
+
+type probeReq struct {
+	From Peer `json:"from"`
+}
+
+type probeResp struct {
+	OK bool `json:"ok"`
+}
+
+// rumorEntry announces one fresh write: enough for the receiver to
+// decide whether it needs the row, without shipping the row itself.
+type rumorEntry struct {
+	ID string         `json:"id"`
+	VV vclock.Version `json:"vv"`
+}
+
+type rumorReq struct {
+	From    Peer         `json:"from"`
+	TTL     int          `json:"ttl"`
+	Entries []rumorEntry `json:"entries"`
+}
+
+type rumorResp struct {
+	// Want is how many rumored rows the receiver will pull — observability
+	// only; the pull itself is a separate gossip.fetch.
+	Want int `json:"want"`
+}
+
+type fetchReq struct {
+	Site string   `json:"site"`
+	IDs  []string `json:"ids"`
+}
+
+type fetchResp struct {
+	Objects []WireObject `json:"objects,omitempty"`
+}
+
+// --- handlers --------------------------------------------------------------
+
+// register installs the overlay protocol. Handlers are pure local
+// compute plus scheduled follow-up calls, so the synchronous form is
+// safe under the simulated clock.
+func (o *Overlay) register() {
+	o.ep.MustRegister(MethodJoin, rpc.HandleJSON(func(_ netsim.Address, req joinReq) (joinResp, error) {
+		o.mu.Lock()
+		o.stats.Joins++
+		closed := o.closed
+		o.mu.Unlock()
+		if closed {
+			return joinResp{}, errClosed
+		}
+		resp := joinResp{Me: o.self, Active: o.ActiveView(), Passive: o.PassiveView()}
+		// Admit the joiner and spread it across the overlay so other
+		// members (which may be under their active target) can adopt it.
+		forwardTo := o.ActiveView()
+		o.addActive(req.Joiner, false)
+		for _, p := range forwardTo {
+			if p.Addr == req.Joiner.Addr {
+				continue
+			}
+			o.ep.GoJSON(p.Addr, MethodForwardJoin, forwardJoinReq{Joiner: req.Joiner, TTL: o.walkTTL},
+				func(rpc.Result) {}, rpc.CallTimeout(o.timeout))
+		}
+		o.arm(0)
+		return resp, nil
+	}))
+
+	o.ep.MustRegister(MethodForwardJoin, rpc.HandleJSON(func(_ netsim.Address, req forwardJoinReq) (ack, error) {
+		o.mu.Lock()
+		o.stats.ForwardJoins++
+		closed := o.closed
+		deficit := len(o.active) < o.activeTargetLocked()
+		var walk []Peer
+		if !deficit && req.TTL > 0 {
+			for _, p := range o.active {
+				if p.Addr != req.Joiner.Addr {
+					walk = append(walk, p)
+				}
+			}
+		}
+		o.mu.Unlock()
+		if closed || req.Joiner.Addr == o.self.Addr {
+			return ack{}, nil
+		}
+		if deficit {
+			// Room in the active view: adopt the joiner and tell it so.
+			o.neighbor(req.Joiner, false, func(int) {})
+		} else {
+			o.addPassive(req.Joiner)
+			if len(walk) > 0 {
+				o.mu.Lock()
+				next := walk[o.rng.Intn(len(walk))]
+				o.mu.Unlock()
+				o.ep.GoJSON(next.Addr, MethodForwardJoin, forwardJoinReq{Joiner: req.Joiner, TTL: req.TTL - 1},
+					func(rpc.Result) {}, rpc.CallTimeout(o.timeout))
+			}
+		}
+		return ack{}, nil
+	}))
+
+	o.ep.MustRegister(MethodNeighbor, rpc.HandleJSON(func(_ netsim.Address, req neighborReq) (neighborResp, error) {
+		o.mu.Lock()
+		o.stats.Neighbors++
+		closed := o.closed
+		o.mu.Unlock()
+		if closed {
+			return neighborResp{}, errClosed
+		}
+		// Always accept: a symmetric link request outranks the weakest
+		// current member (addActive evicts it to passive). Refusals would
+		// need the requester to walk candidates, for little gain at the
+		// scales the overlay targets.
+		o.addActive(req.From, false)
+		o.arm(0)
+		return neighborResp{Accepted: true}, nil
+	}))
+
+	o.ep.MustRegister(MethodShuffle, rpc.HandleJSON(func(_ netsim.Address, req shuffleReq) (shuffleResp, error) {
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			return shuffleResp{}, errClosed
+		}
+		o.stats.Shuffles++
+		sample := o.sampleLocked(req.From.Addr)
+		o.mu.Unlock()
+		o.addPassive(req.From)
+		for _, p := range req.Sample {
+			o.addPassive(p)
+		}
+		return shuffleResp{Sample: sample}, nil
+	}))
+
+	o.ep.MustRegister(MethodProbe, rpc.HandleJSON(func(_ netsim.Address, req probeReq) (probeResp, error) {
+		o.mu.Lock()
+		closed := o.closed
+		o.mu.Unlock()
+		if closed {
+			return probeResp{}, errClosed
+		}
+		o.addPassive(req.From)
+		return probeResp{OK: true}, nil
+	}))
+
+	o.ep.MustRegister(MethodRumor, rpc.HandleJSON(func(_ netsim.Address, req rumorReq) (rumorResp, error) {
+		return o.handleRumor(req), nil
+	}))
+
+	o.ep.MustRegister(MethodFetch, rpc.HandleJSON(func(_ netsim.Address, req fetchReq) (fetchResp, error) {
+		if o.replica == nil {
+			return fetchResp{}, nil
+		}
+		return fetchResp{Objects: o.replica.FetchWire(req.Site, req.IDs)}, nil
+	}))
+}
+
+// --- rumor mongering -------------------------------------------------------
+
+// Publish pushes a rumor for a fresh local write to the active view.
+// rank, if non-nil, orders targets by placement interest for this
+// object (higher first) — placed peers hear about hot spaces before
+// bystanders do.
+func (o *Overlay) Publish(id string, vv vclock.Version, rank func(site string) int) {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.markSeenLocked(rumorKey(id, vv))
+	targets := o.rumorTargetsLocked("", rank)
+	o.stats.RumorsPublished++
+	o.mu.Unlock()
+	o.sendRumor(targets, rumorReq{From: o.self, TTL: o.ttl, Entries: []rumorEntry{{ID: id, VV: vv}}})
+}
+
+// handleRumor processes an incoming rumor. Entries this replica already
+// holds are re-forwarded immediately with a decremented TTL; entries it
+// lacks are pulled from the sender first and re-forwarded only once the
+// rows actually landed — a forwarder must be able to serve the fetches
+// its forwarding provokes, otherwise the epidemic dies at the first
+// member whose pull raced its push. Entries whose pull fails are not
+// re-forwarded; anti-entropy repairs that path.
+func (o *Overlay) handleRumor(req rumorReq) rumorResp {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return rumorResp{}
+	}
+	o.stats.RumorsSeen += int64(len(req.Entries))
+	var have, want []rumorEntry
+	for _, e := range req.Entries {
+		k := rumorKey(e.ID, e.VV)
+		if o.seen[k] {
+			continue
+		}
+		o.markSeenLocked(k)
+		if o.replica != nil && !o.replica.HasSeen(e.ID, e.VV) {
+			want = append(want, e)
+		} else {
+			have = append(have, e)
+		}
+	}
+	if len(want) > 0 {
+		o.stats.RumorFetches++
+	}
+	o.mu.Unlock()
+	o.addPassive(req.From)
+	o.forwardRumor(have, req.TTL, req.From.Addr)
+	if len(want) > 0 {
+		ids := make([]string, len(want))
+		for i, e := range want {
+			ids[i] = e.ID
+		}
+		sort.Strings(ids)
+		o.ep.GoJSON(req.From.Addr, MethodFetch, fetchReq{Site: o.self.Site, IDs: ids}, func(res rpc.Result) {
+			var resp fetchResp
+			if err := res.Decode(&resp); err != nil || o.replica == nil {
+				return
+			}
+			got := make(map[string]bool, len(resp.Objects))
+			for _, obj := range resp.Objects {
+				got[obj.ID] = true
+			}
+			if applied := o.replica.ApplyWire(resp.Objects); applied > 0 {
+				o.mu.Lock()
+				o.stats.RumorApplied += int64(applied)
+				o.mu.Unlock()
+				// Arm anti-entropy: the sync layer floods what the rumor
+				// seeded to peers the rumor itself missed.
+				o.replica.SyncSoon()
+			}
+			var landed []rumorEntry
+			for _, e := range want {
+				if got[e.ID] {
+					landed = append(landed, e)
+				}
+			}
+			o.forwardRumor(landed, req.TTL, req.From.Addr)
+		}, rpc.CallTimeout(o.timeout))
+	}
+	return rumorResp{Want: len(want)}
+}
+
+// forwardRumor re-forwards entries this member can vouch for (it holds
+// the rows) to the active view, excluding the peer they came from.
+func (o *Overlay) forwardRumor(entries []rumorEntry, ttl int, from netsim.Address) {
+	if len(entries) == 0 || ttl <= 0 {
+		return
+	}
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	targets := o.rumorTargetsLocked(from, nil)
+	if len(targets) > 0 {
+		o.stats.RumorsForwarded++
+	}
+	o.mu.Unlock()
+	if len(targets) > 0 {
+		o.sendRumor(targets, rumorReq{From: o.self, TTL: ttl - 1, Entries: entries})
+	}
+}
+
+// rumorTargetsLocked picks the peers one rumor goes to: the active view
+// minus the sender, ordered by rank (placement interest) then site, cut
+// to the fanout (0 = the whole view).
+func (o *Overlay) rumorTargetsLocked(exclude netsim.Address, rank func(site string) int) []Peer {
+	out := make([]Peer, 0, len(o.active))
+	for _, p := range o.active {
+		if p.Addr != exclude {
+			out = append(out, p)
+		}
+	}
+	score := func(site string) int {
+		if rank != nil {
+			return rank(site)
+		}
+		return o.rank(site)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := score(out[i].Site), score(out[j].Site); a != b {
+			return a > b
+		}
+		return out[i].Site < out[j].Site
+	})
+	if o.fanout > 0 && len(out) > o.fanout {
+		out = out[:o.fanout]
+	}
+	return out
+}
+
+func (o *Overlay) sendRumor(targets []Peer, req rumorReq) {
+	for _, p := range targets {
+		o.ep.GoJSON(p.Addr, MethodRumor, req, func(rpc.Result) {
+			// Losing a rumor is fine: anti-entropy is the repair path.
+		}, rpc.CallTimeout(o.timeout))
+	}
+}
+
+// markSeenLocked records a rumor key, resetting the set at its cap —
+// a reset only costs re-forwarding already-quiet rumors once.
+func (o *Overlay) markSeenLocked(k uint64) {
+	if len(o.seen) >= seenCap {
+		o.seen = make(map[uint64]bool)
+	}
+	o.seen[k] = true
+}
+
+// rumorKey folds an id and version vector into the dedup key.
+func rumorKey(id string, vv vclock.Version) uint64 {
+	h := fnv64(id)
+	for _, b := range vv.AppendBinary(nil) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -136,6 +136,7 @@ func (s *Store) flushLocked() error {
 	}
 	s.walSize = 0
 	s.sinceSnap = 0
+	s.bytesSnap = 0
 	s.installSegsLocked(newSegs)
 	s.mem.clear()
 	s.stats.Compactions++

@@ -130,6 +130,15 @@ func WithCompactEvery(n int) Option {
 	return func(s *Store) { s.compactEvery = n }
 }
 
+// WithFlushBytes sets how many WAL bytes accumulate before the memtable
+// automatically flushes to a segment, independently of the record-count
+// trigger — a handful of huge rows fills the WAL long before
+// WithCompactEvery records accumulate. 0 (the default) disables the
+// size trigger; whichever enabled trigger fires first flushes.
+func WithFlushBytes(n int64) Option {
+	return func(s *Store) { s.flushBytes = n }
+}
+
 // WithMergeFanout sets how many segments accumulate on a level before
 // the background compactor merges them into the next level. Lower values
 // mean fewer segments per read but more write amplification.
@@ -174,6 +183,7 @@ type Store struct {
 	fsync        bool
 	group        bool
 	compactEvery int
+	flushBytes   int64
 	fanout       int
 	bgMerge      bool
 
@@ -183,6 +193,7 @@ type Store struct {
 	seq         uint64 // last assigned record sequence number
 	snapSeq     uint64 // sequence covered by the manifest on disk
 	sinceSnap   int    // records appended since the last flush
+	bytesSnap   int64  // record bytes appended since the last flush
 	liveCovered int    // live row count at snapSeq (manifest header field)
 	nextSegID   uint64 // next segment file id
 	closed      bool
@@ -618,7 +629,7 @@ func (s *Store) relateLocked(from string, kind information.RelKind, to string) (
 		s.compactIfDueLocked()
 		return seq, nil
 	}
-	preSize, preSince := s.walSize, s.sinceSnap
+	preSize, preSince, preBytes := s.walSize, s.sinceSnap, s.bytesSnap
 	s.seq++
 	s.payload = appendWALPayload(s.payload[:0], recRelate, s.seq)
 	s.payload = appendRelation(s.payload, rel)
@@ -633,7 +644,7 @@ func (s *Store) relateLocked(from string, kind information.RelKind, to string) (
 		if terr := os.Truncate(filepath.Join(s.dir, walName), preSize); terr == nil {
 			s.stats.Appends--
 			s.stats.AppendedBytes -= s.walSize - preSize
-			s.walSize, s.sinceSnap = preSize, preSince
+			s.walSize, s.sinceSnap, s.bytesSnap = preSize, preSince, preBytes
 		}
 		return 0, err
 	}
@@ -744,6 +755,7 @@ func (s *Store) appendLocked() error {
 	}
 	s.walSize += int64(len(frame))
 	s.sinceSnap++
+	s.bytesSnap += int64(len(frame))
 	s.stats.Appends++
 	s.stats.AppendedBytes += int64(len(frame))
 	return nil
@@ -773,6 +785,7 @@ func (s *Store) enqueueLocked() error {
 	g.hiEnq = s.seq
 	g.mu.Unlock()
 	s.sinceSnap++
+	s.bytesSnap += int64(len(frame))
 	s.stats.Appends++
 	s.stats.AppendedBytes += int64(len(frame))
 	return nil
@@ -902,7 +915,9 @@ func validateDurable(o *information.Object) error {
 // counted, not surfaced: the triggering write is already committed and
 // durable in the WAL, and the next append retries.
 func (s *Store) compactIfDueLocked() {
-	if s.compactEvery <= 0 || s.sinceSnap < s.compactEvery {
+	countDue := s.compactEvery > 0 && s.sinceSnap >= s.compactEvery
+	sizeDue := s.flushBytes > 0 && s.bytesSnap >= s.flushBytes
+	if !countDue && !sizeDue {
 		return
 	}
 	if err := s.compactLocked(false); err != nil {

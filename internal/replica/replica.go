@@ -201,6 +201,9 @@ type Stats struct {
 	// currently keeping out of the cached per-peer digest trees (summed
 	// over peers), recomputed at each Stats snapshot.
 	ScopeFiltered int64
+	// ScopedTrees is a gauge: how many per-site scoped digest trees are
+	// cached right now — bounded by the peer set plus a little slack.
+	ScopedTrees int
 
 	// Per-round observability: the last completed round's digest size and
 	// data movement (sum over its peer exchanges).
@@ -278,6 +281,8 @@ type Replicator struct {
 	policy     *placement.Policy
 	fullDigest bool
 
+	onRoundFail func() // membership-layer hook: a sync round saw peer failures
+
 	mu             sync.Mutex
 	peers          []peer
 	legacyPeers    map[netsim.Address]bool // peers that don't serve MethodDigest
@@ -322,6 +327,16 @@ func New(ep *rpc.Endpoint, clock vclock.Clock, space *information.Space, opts ..
 	return r
 }
 
+// OnRoundFailure installs a callback fired after any sync round that hit
+// peer failures. The gossip overlay hooks it to re-probe its views: a
+// partition is invisible to a dormant membership layer, but the sync
+// layer trips over it immediately.
+func (r *Replicator) OnRoundFailure(fn func()) {
+	r.mu.Lock()
+	r.onRoundFail = fn
+	r.mu.Unlock()
+}
+
 // Site returns the replica's site name.
 func (r *Replicator) Site() string { return r.site }
 
@@ -341,6 +356,7 @@ func (r *Replicator) Stats() Stats {
 	for _, c := range r.scoped {
 		out.ScopeFiltered += c.excluded
 	}
+	out.ScopedTrees = len(r.scoped)
 	return out
 }
 
@@ -364,6 +380,44 @@ func (r *Replicator) AddPeerNamed(site string, addr netsim.Address) {
 		}
 	}
 	r.peers = append(r.peers, peer{addr: addr, site: site})
+}
+
+// RemovePeer drops a peer from the sync set — view churn under the
+// gossip overlay, or an operator retiring a site. The peer's cached
+// placement-scoped digest tree is released with it (unless another peer
+// still shares the site), so the per-peer tree cache is bounded by the
+// live peer set instead of growing with every site ever seen. Reports
+// whether the address was a peer.
+func (r *Replicator) RemovePeer(addr netsim.Address) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := -1
+	for i, p := range r.peers {
+		if p.addr == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	site := r.peers[idx].site
+	r.peers = append(r.peers[:idx], r.peers[idx+1:]...)
+	delete(r.legacyPeers, addr)
+	if site != "" && !r.peerSiteLocked(site) {
+		delete(r.scoped, site)
+	}
+	return true
+}
+
+// peerSiteLocked reports whether any current peer carries the site name.
+func (r *Replicator) peerSiteLocked(site string) bool {
+	for _, p := range r.peers {
+		if p.site == site {
+			return true
+		}
+	}
+	return false
 }
 
 // Peers returns the peer addresses, sorted.
@@ -631,7 +685,11 @@ func (r *Replicator) roundDone(st roundState) {
 	rearm := r.wantSync || (r.auto && (st.moved ||
 		(st.failures > 0 && r.consecFailures < r.failureCap)))
 	now := r.wantNow
+	onFail := r.onRoundFail
 	r.mu.Unlock()
+	if st.failures > 0 && onFail != nil {
+		onFail()
+	}
 	if !rearm {
 		return
 	}
@@ -673,6 +731,41 @@ func (r *Replicator) applyDeltas(deltas []wireObject) (applied int) {
 	return applied
 }
 
+// --- gossip-overlay surface ------------------------------------------------
+//
+// These three methods plus SyncSoon are what internal/gossip's Replica
+// interface needs: rumor staleness checks and the pull half of rumor
+// mongering. They keep gossip decoupled from this package — the overlay
+// sees an interface, the deployment hands it a *Replicator.
+
+// HasSeen reports whether the local replica already holds id at a
+// version dominating vv — a rumor for it carries no news.
+func (r *Replicator) HasSeen(id string, vv vclock.Version) bool {
+	obj, ok := r.space.Fetch(id)
+	return ok && obj.VV.Dominates(vv)
+}
+
+// FetchWire returns the named rows in wire form, placement-scoped to the
+// requesting site like any other delta.
+func (r *Replicator) FetchWire(forSite string, ids []string) []information.WireObject {
+	var out []information.WireObject
+	for _, id := range ids {
+		if obj, ok := r.space.Fetch(id); ok && r.placedAt(forSite, obj) {
+			out = append(out, toWire(obj))
+		}
+	}
+	return out
+}
+
+// ApplyWire merges rumor-fetched rows through the ordinary delta-apply
+// path (placement refusals, conflict resolution, stats), returning how
+// many changed local state.
+func (r *Replicator) ApplyWire(objs []information.WireObject) int {
+	applied := r.applyDeltas(objs)
+	r.bump(func(s *Stats) { s.Applied += int64(applied) })
+	return applied
+}
+
 // treeFor returns the digest tree this replicator compares with the
 // named peer site: the space's own incremental tree when placement is
 // non-selective (or the peer is untagged), otherwise a cached tree
@@ -709,7 +802,7 @@ func (r *Replicator) treeFor(site string) *information.DigestTree {
 		return true
 	})
 	r.mu.Lock()
-	if r.commitEvents == ev0 {
+	if r.commitEvents == ev0 && r.mayCacheScopedLocked(site) {
 		// No commit raced the scan: the entry is complete, and from here
 		// maintainScoped keeps it current — this site never rescans
 		// again until the placement policy changes.
@@ -717,6 +810,23 @@ func (r *Replicator) treeFor(site string) *information.DigestTree {
 	}
 	r.mu.Unlock()
 	return t
+}
+
+// scopedSlack is how many scoped trees beyond the peer set the cache
+// admits — callers serving digests for sites that are not (yet) peers.
+const scopedSlack = 4
+
+// mayCacheScopedLocked bounds the scoped-tree cache: peer sites always
+// cache (RemovePeer releases them on churn); non-peer callers — arbitrary
+// sites whose digest requests we serve — only while the cache stays
+// within the peer count plus a little slack. Past that, a stranger's
+// request is served from an uncached scan rather than growing the cache
+// (and the per-commit maintainScoped fan-in) without bound.
+func (r *Replicator) mayCacheScopedLocked(site string) bool {
+	if r.peerSiteLocked(site) {
+		return true
+	}
+	return len(r.scoped) < len(r.peers)+scopedSlack
 }
 
 // newerThanHW resolves the tree's past-high-water ids to placement-scoped
@@ -1110,6 +1220,14 @@ func (r *Replicator) register() {
 			s.Conflicts += int64(resp.Conflicts)
 			s.RefusedApplies += int64(notPlaced)
 		})
+		if resp.Applied > 0 {
+			// Infected becomes infectious: on a sparse peering graph the
+			// rows just applied must keep flooding, and only this replica's
+			// own round reaches ITS peers. On a full mesh this costs at most
+			// one no-op round — the re-armed round moves nothing and the
+			// replicator goes dormant again.
+			r.SyncSoon()
+		}
 		return resp, nil
 	}))
 }

@@ -33,6 +33,7 @@ import (
 	"mocca/internal/core"
 	"mocca/internal/directory"
 	"mocca/internal/engineering"
+	"mocca/internal/gossip"
 	"mocca/internal/id"
 	"mocca/internal/information"
 	"mocca/internal/information/logstore"
@@ -114,6 +115,23 @@ func WithFullDigestSync() Option {
 	return func(d *Deployment) { d.fullDigest = true }
 }
 
+// WithGossip replaces the full-mesh site peering with the epidemic
+// overlay (internal/gossip): each site maintains a partial active view
+// of ~⌈log₂ n⌉+c peers discovered through trader membership offers, runs
+// anti-entropy only against that view, and races fresh writes ahead of
+// the sync rounds as rumors. The replicator's peer set follows the view
+// (churn adds, removes and re-arms peers), so per-site channel counts
+// and sync bytes scale with log n instead of n — the configuration for
+// deployments past a few dozen sites. Without this option the full mesh
+// remains the default and nothing changes. opts pass through to every
+// site's overlay.
+func WithGossip(opts ...gossip.Option) Option {
+	return func(d *Deployment) {
+		d.gossip = true
+		d.gossipOpts = opts
+	}
+}
+
 // WithSiteBackend supplies per-site information storage: the factory is
 // called when a site's replica is materialised (AddSite) and again on
 // Site.Restart, so a durable backend re-opened by the factory recovers
@@ -146,6 +164,8 @@ type Deployment struct {
 	backendFor func(site string) (information.Backend, error)
 	placeRules []placement.Rule
 	fullDigest bool
+	gossip     bool
+	gossipOpts []gossip.Option
 
 	clock  *vclock.Simulated
 	net    *netsim.Network
@@ -177,6 +197,8 @@ type Site struct {
 	readEP     *rpc.Endpoint // the placement read endpoint; closed on Crash
 	reader     *placement.Reader
 	readServer *placement.ReadServer
+	gossipEP   *rpc.Endpoint   // the overlay's endpoint; closed on Crash (gossip mode)
+	overlay    *gossip.Overlay // nil unless the deployment runs WithGossip
 	crashed    bool
 }
 
@@ -230,7 +252,15 @@ func NewDeployment(opts ...Option) *Deployment {
 	// replicas can reconcile: kick an immediate sync round on every site
 	// (replicators that went dormant on the failure cap wake up; converged
 	// ones run one cheap no-op round).
-	d.net.OnHeal(d.SyncInformation)
+	d.net.OnHeal(func() {
+		if d.gossip {
+			// Re-knit the overlay first: demoted cross-partition peers
+			// rejoin active views, so the sync rounds kicked next reach
+			// across the healed cut.
+			d.mendGossip()
+		}
+		d.SyncInformation()
+	})
 	d.net.OnRecover(func(addr netsim.Address) {
 		// Only a replication node coming back can have reconciliation
 		// work; restarts of MTAs, the MCU or user nodes don't warrant a
@@ -334,11 +364,19 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 	for _, other := range d.sites {
 		mta.AddRoute(other.Domain, other.mta.Addr())
 		other.mta.AddRoute(domain, mta.Addr())
-		repl.AddPeerNamed(other.Name, other.repl.Addr())
-		other.repl.AddPeerNamed(name, repl.Addr())
+		if !d.gossip {
+			repl.AddPeerNamed(other.Name, other.repl.Addr())
+			other.repl.AddPeerNamed(name, repl.Addr())
+		}
 	}
 	repl.AutoSync(d.syncEvery)
-	if len(d.sites) > 0 {
+	if d.gossip {
+		// Overlay mode: the replicator's peer set follows the active view;
+		// joining the overlay (below) adds the first peers, and the
+		// OnChange hook runs the immediate first sync that pulls existing
+		// state from them.
+		d.wireSiteGossip(site)
+	} else if len(d.sites) > 0 {
 		// A site joining an established deployment pulls the existing
 		// information state with an immediate first round — otherwise its
 		// replica stays empty until something else wakes the dormant mesh.
@@ -347,6 +385,129 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 	d.sites[name] = site
 	d.refreshPlacementOffers()
 	return site
+}
+
+// wireSiteGossip creates the site's overlay agent on its own gossip
+// endpoint, advertises it as a trader membership offer, couples the
+// replicator's peer set to active-view churn, and joins the overlay.
+func (d *Deployment) wireSiteGossip(s *Site) {
+	opts := []gossip.Option{
+		gossip.WithSeed(d.seed),
+		gossip.WithContacts(d.gossipContacts),
+		gossip.WithBias(d.gossipBias(s.Name)),
+		gossip.WithOnChange(func(added, removed []gossip.Peer) {
+			for _, p := range removed {
+				s.repl.RemovePeer(p.Repl)
+			}
+			for _, p := range added {
+				s.repl.AddPeerNamed(p.Site, p.Repl)
+			}
+			if len(added) > 0 && !s.crashed {
+				// View churn re-arms anti-entropy: a fresh peer may hold
+				// state this site has never seen (late join, post-heal).
+				s.repl.SyncNow()
+			}
+		}),
+	}
+	opts = append(opts, d.gossipOpts...)
+	s.gossipEP = d.endpointAt(s.gossipAddr())
+	s.overlay = gossip.New(s.gossipEP, d.clock, s.Name, s.replAddr(), s.repl, opts...)
+	// A failing sync round is the overlay's partition detector: the
+	// membership layer may be dormant when a cut lands, but anti-entropy
+	// trips over it immediately and Suspect re-probes the views.
+	s.repl.OnRoundFailure(s.overlay.Suspect)
+	d.exportGossipOffer(s)
+	s.overlay.Join()
+}
+
+// gossipContacts resolves the advertised overlay membership from the
+// trader: one peer per live site's membership offer.
+func (d *Deployment) gossipContacts() []gossip.Peer {
+	tr := d.env.Trader()
+	if !tr.HasType(gossip.ServiceType) {
+		return nil
+	}
+	offers, err := tr.Import(trader.ImportRequest{ServiceType: gossip.ServiceType})
+	if err != nil {
+		return nil
+	}
+	out := make([]gossip.Peer, 0, len(offers))
+	for _, of := range offers {
+		out = append(out, gossip.Peer{
+			Site: of.Properties.First(gossip.SiteProp),
+			Addr: of.Provider,
+			Repl: netsim.Address(of.Properties.First(gossip.ReplProp)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// gossipBias ranks a peer site by how many placement assignments it
+// shares with self — the interest-set bias that makes sites gossip hot
+// spaces with placed peers first. Non-selective policies rank everyone
+// equally.
+func (d *Deployment) gossipBias(self string) func(site string) int {
+	pol := d.env.Placement()
+	hosts := func(a placement.Assignment, site string) bool {
+		if len(a.Sites) == 0 {
+			return true
+		}
+		for _, s := range a.Sites {
+			if s == site {
+				return true
+			}
+		}
+		return false
+	}
+	return func(site string) int {
+		if !pol.Selective() {
+			return 0
+		}
+		shared := 0
+		for _, a := range pol.Assignments() {
+			if hosts(a, self) && hosts(a, site) {
+				shared++
+			}
+		}
+		return shared
+	}
+}
+
+// exportGossipOffer (re-)advertises the site's overlay membership in the
+// trader. Crash withdraws the offer, so the advertised membership tracks
+// live sites and the overlay ring heals around the dead.
+func (d *Deployment) exportGossipOffer(s *Site) {
+	tr := d.env.Trader()
+	if !tr.HasType(gossip.ServiceType) {
+		if err := tr.RegisterType(gossip.ServiceType); err != nil {
+			panic(fmt.Sprintf("mocca: register gossip service type: %v", err))
+		}
+	}
+	_ = tr.Withdraw(gossip.OfferID(s.Name)) // restart re-exports; unknown ids are fine
+	offer := trader.Offer{
+		ID:          gossip.OfferID(s.Name),
+		ServiceType: gossip.ServiceType,
+		Provider:    s.gossipAddr(),
+		Properties: directory.NewAttributes(
+			gossip.SiteProp, s.Name,
+			gossip.ReplProp, string(s.replAddr()),
+		),
+	}
+	if err := tr.Export(offer); err != nil {
+		panic(fmt.Sprintf("mocca: export gossip offer %q: %v", offer.ID, err))
+	}
+}
+
+// mendGossip re-knits every live site's overlay after a partition heals:
+// demoted cross-partition peers are re-probed and promoted back, and
+// overlays dormant on their failure cap re-arm.
+func (d *Deployment) mendGossip() {
+	for _, name := range d.SiteNames() {
+		if s := d.sites[name]; s.overlay != nil && !s.crashed {
+			s.overlay.Mend()
+		}
+	}
 }
 
 // replicaOptions builds the option set every site replicator is wired
@@ -379,6 +540,18 @@ func (d *Deployment) wireSiteSpace(s *Site) {
 		}
 		if ev.Kind != "put" && ev.Kind != "update" || ev.Object == nil {
 			return
+		}
+		if s.overlay != nil && !s.crashed {
+			// Gossip mode: race the fresh write ahead of anti-entropy as a
+			// rumor, placed peers first.
+			obj := ev.Object
+			desc := placement.Describe(obj)
+			s.overlay.Publish(obj.ID, obj.VV, func(peerSite string) int {
+				if pol.PlacedAt(peerSite, desc) {
+					return 1
+				}
+				return 0
+			})
 		}
 		if !pol.Selective() {
 			return
@@ -664,6 +837,16 @@ func (s *Site) Crash() {
 	if node, ok := d.net.Node(s.mta.Addr()); ok {
 		node.SetDown(true)
 	}
+	if s.overlay != nil {
+		// The dead site leaves the advertised membership: peers' probes
+		// demote it from their views and the ring heals around it.
+		_ = d.env.Trader().Withdraw(gossip.OfferID(s.Name))
+		s.overlay.Close()
+		if node, ok := d.net.Node(s.gossipAddr()); ok {
+			node.SetDown(true)
+		}
+		s.gossipEP.Close()
+	}
 	// Close the replication and read endpoints: pending calls cancel now
 	// and any stale auto-sync round the dead replicator still fires
 	// completes immediately instead of dribbling timeouts after the
@@ -719,12 +902,14 @@ func (s *Site) Restart() error {
 		func() *information.Space { return s.env.Space() },
 		placement.WithHolderPolicy(d.env.Placement()))
 	d.wireSiteSpace(s)
-	for _, other := range d.sites {
-		if other == s {
-			continue
+	if !d.gossip {
+		for _, other := range d.sites {
+			if other == s {
+				continue
+			}
+			s.repl.AddPeerNamed(other.Name, other.repl.Addr())
+			other.repl.AddPeerNamed(s.Name, s.repl.Addr())
 		}
-		s.repl.AddPeerNamed(other.Name, other.repl.Addr())
-		other.repl.AddPeerNamed(s.Name, s.repl.Addr())
 	}
 	s.repl.AutoSync(d.syncEvery)
 	if node, ok := d.net.Node(s.mta.Addr()); ok {
@@ -733,12 +918,20 @@ func (s *Site) Restart() error {
 	if node, ok := d.net.Node(s.readAddr()); ok {
 		node.SetDown(false)
 	}
+	s.crashed = false
+	if d.gossip {
+		// A fresh overlay agent rejoins the advertised membership; its
+		// view changes re-peer the recovered replicator.
+		if node, ok := d.net.Node(s.gossipAddr()); ok {
+			node.SetDown(false)
+		}
+		d.wireSiteGossip(s)
+	}
 	if node, ok := d.net.Node(s.replAddr()); ok {
 		// Recovery of a repl-* node fires the deployment's OnRecover hook,
-		// which kicks a full-mesh sync round.
+		// which kicks a sync round everywhere.
 		node.SetDown(false)
 	}
-	s.crashed = false
 	return nil
 }
 
@@ -749,6 +942,14 @@ func (s *Site) replAddr() netsim.Address { return netsim.Address("repl-" + s.Nam
 // replAddr so Fabric.TotalsFor("repl-") measures pure anti-entropy
 // traffic and TotalsFor("place-") measures remote reads.
 func (s *Site) readAddr() netsim.Address { return netsim.Address("place-" + s.Name) }
+
+// gossipAddr is the site's overlay endpoint address; TotalsFor("gossip-")
+// measures pure membership/rumor traffic.
+func (s *Site) gossipAddr() netsim.Address { return netsim.Address("gossip-" + s.Name) }
+
+// Overlay exposes the site's gossip agent (views, stats); nil unless the
+// deployment runs WithGossip.
+func (s *Site) Overlay() *gossip.Overlay { return s.overlay }
 
 // JoinConference creates a session for a member at their own node and
 // joins it, driving the simulated clock until the join completes.
