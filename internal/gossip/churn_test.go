@@ -1,0 +1,175 @@
+package gossip
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// liveConnected reports whether the union of active-view edges joins
+// every overlay except the named dead sites into one component.
+func (f *overlayFixture) liveConnected(dead ...string) bool {
+	down := map[string]bool{}
+	for _, s := range dead {
+		down[s] = true
+	}
+	adj := map[string]map[string]bool{}
+	edge := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		adj[a][b] = true
+	}
+	live := 0
+	var start string
+	for _, o := range f.overlays {
+		if down[o.Self().Site] {
+			continue
+		}
+		live++
+		if start == "" {
+			start = o.Self().Site
+		}
+		for _, p := range o.ActiveView() {
+			if down[p.Site] {
+				continue
+			}
+			edge(o.Self().Site, p.Site)
+			edge(p.Site, o.Self().Site)
+		}
+	}
+	seen := map[string]bool{start: true}
+	frontier := []string{start}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for next := range adj[cur] {
+			if !seen[next] {
+				seen[next] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	return len(seen) == live
+}
+
+// ringNeighbors returns site's successor candidates in ring order
+// (successor first, then the fallbacks a crash makes the walk reach).
+func (f *overlayFixture) ringNeighbors(site string) []string {
+	sites := make([]string, len(f.overlays))
+	for i, o := range f.overlays {
+		sites[i] = o.Self().Site
+	}
+	sort.Strings(sites)
+	idx := sort.SearchStrings(sites, site)
+	var order []string
+	for i := 1; i < len(sites); i++ {
+		order = append(order, sites[(idx+i)%len(sites)])
+	}
+	return order
+}
+
+func inActive(o *Overlay, site string) bool {
+	for _, p := range o.ActiveView() {
+		if p.Site == site {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRingSuccessorCrashDuringShuffle kills a site's pinned ring
+// successor while a stabilization round (probe + shuffle) is in flight
+// against it. The round must absorb the timeouts, demote the corpse, and
+// the next ensureRing walk must pin the following site in ring order —
+// the crashed successor is still advertised, so only the walk (not offer
+// withdrawal) can route around it. After the crash heals, Mend must
+// re-pin the true successor.
+func TestRingSuccessorCrashDuringShuffle(t *testing.T) {
+	f := newOverlayFixture(t, 10)
+	first := f.overlays[0].Self().Site
+	order := f.ringNeighbors(first)
+	succ, next := order[0], order[1]
+	if !inActive(f.overlays[0], succ) {
+		t.Fatalf("%s: ring successor %s not pinned before the crash", first, succ)
+	}
+
+	// Arm a round everywhere and advance just far enough that the rounds
+	// have fired and their probe/shuffle rpcs are in flight — but no
+	// 800ms timeout has expired yet.
+	for _, o := range f.overlays {
+		o.Suspect()
+	}
+	f.clk.Advance(2 * time.Millisecond)
+	if f.clk.Pending() == 0 {
+		t.Fatal("no rpcs in flight — the crash would not be mid-round")
+	}
+	f.nodes[succ].SetDown(true)
+	f.clk.RunUntilIdle()
+
+	// The in-flight round and its successors must have walked the ring
+	// past the corpse, not wedged on it.
+	if inActive(f.overlays[0], succ) {
+		t.Fatalf("%s still lists crashed successor %s in its active view", first, succ)
+	}
+	if !inActive(f.overlays[0], next) {
+		t.Fatalf("%s: ring walk did not reach fallback successor %s (view %v)",
+			first, next, f.overlays[0].ActiveView())
+	}
+	if !f.liveConnected(succ) {
+		t.Fatal("live overlays no longer form a connected graph")
+	}
+
+	// Heal: the node returns, Mend resets the walk, and the true
+	// successor must be re-pinned.
+	f.nodes[succ].SetDown(false)
+	for _, o := range f.overlays {
+		o.Mend()
+	}
+	f.clk.RunUntilIdle()
+	if !inActive(f.overlays[0], succ) {
+		t.Fatalf("%s: healed successor %s not re-pinned after Mend (view %v)",
+			first, succ, f.overlays[0].ActiveView())
+	}
+	if !f.liveConnected() {
+		t.Fatal("overlay not fully connected after heal + Mend")
+	}
+}
+
+// TestShufflePartnerRemovedMidRound drives churn into the shuffle path
+// itself: every overlay is forced into back-to-back rounds while a third
+// of the membership flaps down and up. No round may wedge (the clock
+// must drain) and the survivors must remain one component throughout.
+func TestShufflePartnerRemovedMidRound(t *testing.T) {
+	f := newOverlayFixture(t, 12)
+	flappers := []int{2, 5, 8}
+	for round := 0; round < 3; round++ {
+		for _, o := range f.overlays {
+			o.Suspect()
+		}
+		f.clk.Advance(2 * time.Millisecond) // rounds fired, rpcs in flight
+		var down []string
+		for _, i := range flappers {
+			site := f.overlays[i].Self().Site
+			f.nodes[site].SetDown(true)
+			down = append(down, site)
+		}
+		f.clk.RunUntilIdle()
+		if !f.liveConnected(down...) {
+			t.Fatalf("round %d: survivors split after mid-round crashes", round)
+		}
+		for _, site := range down {
+			f.nodes[site].SetDown(false)
+		}
+		for _, o := range f.overlays {
+			o.Mend()
+		}
+		f.clk.RunUntilIdle()
+		if !f.liveConnected() {
+			t.Fatalf("round %d: overlay split after heal", round)
+		}
+	}
+	if f.clk.Pending() != 0 {
+		t.Fatalf("%d timers still armed after churn settled", f.clk.Pending())
+	}
+}

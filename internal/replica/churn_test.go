@@ -1,0 +1,84 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRemovePeerDuringInFlightRound removes peers from a replicator while
+// its anti-entropy round is mid-exchange — the gossip overlay does exactly
+// this when view churn lands during a sync. The in-flight round runs
+// against its snapshot and must complete without wedging the clock; later
+// rounds must honor the shrunken peer set.
+func TestRemovePeerDuringInFlightRound(t *testing.T) {
+	f := newFixture(t, 3)
+	obj, err := f.spaces[0].Put("prinz", "doc", map[string]string{"title": "churn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fire s0's round: at the interval boundary the round has started and
+	// its first exchange (sorted order: s1) is in flight, replies still
+	// queued behind network latency.
+	f.clk.Advance(time.Second)
+
+	// Churn both kinds of peer out from under the running round: s1 (the
+	// exchange in progress) and s2 (still pending in the round snapshot).
+	if !f.reps[0].RemovePeer(f.reps[1].Addr()) {
+		t.Fatal("s1 was not a peer")
+	}
+	if !f.reps[0].RemovePeer(f.reps[2].Addr()) {
+		t.Fatal("s2 was not a peer")
+	}
+	f.clk.RunUntilIdle()
+
+	// The snapshot round completed (and may well have delivered the
+	// object); the peer set is what matters.
+	if got := f.reps[0].Peers(); len(got) != 0 {
+		t.Fatalf("s0 peers after removal = %v, want none", got)
+	}
+
+	// s0 no longer initiates rounds toward anyone, but s1 and s2 still
+	// peer with s0, so their exchanges must converge the object anyway.
+	f.assertConverged(t, obj.ID)
+
+	// And the drained system stays drained: a peerless replicator must
+	// not keep arming rounds at nobody.
+	rounds0 := f.reps[0].Stats().Rounds
+	f.reps[0].SyncNow()
+	f.clk.RunUntilIdle()
+	if got := f.reps[0].Stats().Rounds; got > rounds0+1 {
+		t.Fatalf("peerless s0 kept running rounds: %d -> %d", rounds0, got)
+	}
+}
+
+// TestRemovePeerMidRoundKeepsConvergence is the three-site variant where
+// only one link churns: s0 drops s1 mid-round, but s0↔s2 and s1↔s2
+// remain, so the triangle still converges through s2.
+func TestRemovePeerMidRoundKeepsConvergence(t *testing.T) {
+	f := newFixture(t, 3)
+	obj, err := f.spaces[0].Put("prinz", "doc", map[string]string{"title": "via-s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(time.Second) // s0's round in flight against s1
+	f.reps[0].RemovePeer(f.reps[1].Addr())
+	f.clk.RunUntilIdle()
+	f.assertConverged(t, obj.ID)
+
+	// A second write after the churn must also converge — the removed
+	// link stays removed, the s2 relay does the work.
+	if _, err := f.spaces[0].Update("prinz", obj.ID, obj.Version, map[string]string{"title": "again"}); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.RunUntilIdle()
+	ref := f.assertConverged(t, obj.ID)
+	if ref.Fields["title"] != "again" {
+		t.Fatalf("converged on %q, want the post-churn update", ref.Fields["title"])
+	}
+	for _, addr := range f.reps[0].Peers() {
+		if addr == f.reps[1].Addr() {
+			t.Fatal("removed peer reappeared in s0's sync set")
+		}
+	}
+}

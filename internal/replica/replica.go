@@ -410,6 +410,22 @@ func (r *Replicator) RemovePeer(addr netsim.Address) bool {
 	return true
 }
 
+// tagPeerSite records a site name learned mid-exchange for a peer that
+// is still in the sync set. Unlike AddPeerNamed it never inserts: a
+// reply that outlives a concurrent RemovePeer must not undo the removal.
+func (r *Replicator) tagPeerSite(addr netsim.Address, site string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, p := range r.peers {
+		if p.addr == addr {
+			if p.site == "" {
+				r.peers[i].site = site
+			}
+			return
+		}
+	}
+}
+
 // peerSiteLocked reports whether any current peer carries the site name.
 func (r *Replicator) peerSiteLocked(site string) bool {
 	for _, p := range r.peers {
@@ -939,8 +955,10 @@ func (m *merkleExchange) open() {
 		m.count(len(resp.Frames) + hwBytes(resp.HW))
 		if m.p.site == "" && resp.Site != "" {
 			// An untagged peer introduced itself: future rounds can scope
-			// placement (and trees) by its site.
-			r.AddPeerNamed(resp.Site, m.p.addr)
+			// placement (and trees) by its site. Tag-only — inserting here
+			// would resurrect a peer RemovePeer dropped while this reply
+			// was in flight.
+			r.tagPeerSite(m.p.addr, resp.Site)
 			m.p.site = resp.Site
 		}
 		if resp.Match {

@@ -176,6 +176,38 @@ func (s *Session) Join() error {
 		s.unregister()
 		return err
 	}
+	s.finishJoin(resp)
+	return nil
+}
+
+// GoJoin is Join's asynchronous form: safe to call from a simulated-clock
+// callback, where the blocking Join would deadlock the event loop. done
+// (may be nil) fires on the event goroutine once the snapshot installs or
+// the join fails.
+func (s *Session) GoJoin(done func(error)) {
+	s.reregister()
+	s.endpoint.GoJSON(s.server, MethodJoin, joinReq{
+		Conference: s.Conference,
+		Member:     s.Member,
+		Addr:       string(s.endpoint.Addr()),
+	}, func(r rpc.Result) {
+		var resp joinResp
+		if err := r.Decode(&resp); err != nil {
+			s.unregister()
+			if done != nil {
+				done(err)
+			}
+			return
+		}
+		s.finishJoin(resp)
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// finishJoin installs the server snapshot after a successful join reply.
+func (s *Session) finishJoin(resp joinResp) {
 	s.mu.Lock()
 	s.seq = resp.Seq
 	s.state = resp.State
@@ -207,7 +239,6 @@ func (s *Session) Join() error {
 	if s.hbPeriod > 0 {
 		s.scheduleHeartbeat()
 	}
-	return nil
 }
 
 // drainPendingLocked applies consecutively-sequenced buffered events and
@@ -246,6 +277,20 @@ func (s *Session) Set(key, value string) error {
 	return s.endpoint.CallJSON(s.server, MethodUpdate, updateReq{
 		Conference: s.Conference, Member: s.Member, Kind: EventState, Key: key, Value: value,
 	}, &resp)
+}
+
+// GoSet is Set's asynchronous form for simulated-clock callbacks. done
+// (may be nil) fires on the event goroutine with the server's verdict.
+func (s *Session) GoSet(key, value string, done func(error)) {
+	s.endpoint.GoJSON(s.server, MethodUpdate, updateReq{
+		Conference: s.Conference, Member: s.Member, Kind: EventState, Key: key, Value: value,
+	}, func(r rpc.Result) {
+		var resp updateResp
+		err := r.Decode(&resp)
+		if done != nil {
+			done(err)
+		}
+	})
 }
 
 // Point publishes a telepointer position.

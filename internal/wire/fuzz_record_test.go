@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// recordCorpus builds fuzz seeds from real AppendRecord output: single
+// records, concatenated streams, the empty payload, and corrupted or
+// truncated variants — the shapes WAL recovery actually sees.
+func recordCorpus(f *testing.F) {
+	one, err := AppendRecord(nil, []byte("hello record"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(one)
+
+	var stream []byte
+	for _, p := range [][]byte{[]byte("first"), {}, []byte("third payload, longer than the others")} {
+		if stream, err = AppendRecord(stream, p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(stream)
+	f.Add(stream[:len(stream)-3]) // torn tail
+	f.Add(stream[:RecordOverhead-1])
+
+	flipped := append([]byte(nil), one...)
+	flipped[len(flipped)-1] ^= 0x40 // payload bit rot: CRC must catch it
+	f.Add(flipped)
+	badMagic := append([]byte(nil), one...)
+	badMagic[0] ^= 0xFF
+	f.Add(badMagic)
+
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+}
+
+// FuzzNextRecord walks arbitrary bytes record by record. The decoder must
+// never panic, must always make progress on success, and every payload it
+// accepts must survive an AppendRecord/NextRecord round-trip unchanged.
+func FuzzNextRecord(f *testing.F) {
+	recordCorpus(f)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		rest := in
+		for {
+			payload, next, err := NextRecord(rest)
+			if err != nil {
+				// Recovery semantics: an error leaves the input untouched
+				// so the caller can mark the end of the intact prefix.
+				if !bytes.Equal(next, rest) {
+					t.Fatalf("error %v but rest changed: %d -> %d bytes", err, len(rest), len(next))
+				}
+				return
+			}
+			if len(next) > len(rest)-RecordOverhead {
+				t.Fatalf("decode consumed only %d bytes, less than the header", len(rest)-len(next))
+			}
+			reenc, err := AppendRecord(nil, payload)
+			if err != nil {
+				t.Fatalf("accepted payload failed to re-encode: %v", err)
+			}
+			back, tail, err := NextRecord(reenc)
+			if err != nil || len(tail) != 0 || !bytes.Equal(back, payload) {
+				t.Fatalf("round-trip mismatch: %q -> %q (err %v, %d tail bytes)", payload, back, err, len(tail))
+			}
+			rest = next
+		}
+	})
+}
+
+// FuzzReadRecord runs the streaming decoder and the in-memory decoder over
+// the same bytes in lockstep: both must accept the same payloads in the
+// same order and then fail the same way (modulo ReadRecord reporting a
+// clean end of stream as io.EOF where NextRecord says ErrTruncated).
+func FuzzReadRecord(f *testing.F) {
+	recordCorpus(f)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		r := bytes.NewReader(in)
+		var scratch []byte
+		rest := in
+		for {
+			payload, next, memErr := NextRecord(rest)
+			var streamed []byte
+			var err error
+			streamed, scratch, err = ReadRecord(r, scratch)
+			if memErr != nil {
+				wantEOF := len(rest) == 0 && errors.Is(memErr, ErrTruncated)
+				switch {
+				case wantEOF && !errors.Is(err, io.EOF):
+					t.Fatalf("empty tail: NextRecord %v, ReadRecord %v (want io.EOF)", memErr, err)
+				case !wantEOF && !sameRecordError(memErr, err):
+					t.Fatalf("decoders disagree on failure: NextRecord %v, ReadRecord %v", memErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NextRecord accepted %q but ReadRecord failed: %v", payload, err)
+			}
+			if !bytes.Equal(streamed, payload) {
+				t.Fatalf("decoders disagree on payload: %q vs %q", payload, streamed)
+			}
+			rest = next
+		}
+	})
+}
+
+// sameRecordError reports whether two decode failures are the same class
+// of framing error.
+func sameRecordError(a, b error) bool {
+	for _, sentinel := range []error{ErrTruncated, ErrBadMagic, ErrOversize, ErrBadCRC} {
+		if errors.Is(a, sentinel) {
+			return errors.Is(b, sentinel)
+		}
+	}
+	return false
+}
+
+// FuzzTreeFrames decodes arbitrary bytes as a Merkle digest frame list;
+// anything accepted must re-encode to the identical bytes (the encoding is
+// canonical — digest-byte accounting depends on that).
+func FuzzTreeFrames(f *testing.F) {
+	f.Add(AppendTreeFrames(nil, nil))
+	f.Add(AppendTreeFrames(nil, []TreeFrame{{Path: PackTreePath(0, 0), Hash: 0x9e3779b97f4a7c15}}))
+	f.Add(AppendTreeFrames(nil, []TreeFrame{
+		{Path: PackTreePath(3, 5), Hash: 1},
+		{Path: PackTreePath(3, 6), Hash: 0},
+		{Path: PackTreePath(4, 12), Hash: ^uint64(0)},
+	}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		frames, err := DecodeTreeFrames(in)
+		if err != nil {
+			if !errors.Is(err, ErrBadTreeFrames) {
+				t.Fatalf("decode failed outside ErrBadTreeFrames: %v", err)
+			}
+			return
+		}
+		out := AppendTreeFrames(nil, frames)
+		if !bytes.Equal(out, in) {
+			t.Fatalf("accepted %d bytes but canonical re-encoding is %d bytes", len(in), len(out))
+		}
+		again, err := DecodeTreeFrames(out)
+		if err != nil {
+			t.Fatalf("re-encoded frames failed to decode: %v", err)
+		}
+		for i := range frames {
+			if again[i] != frames[i] {
+				t.Fatalf("frame %d changed across round-trip: %+v vs %+v", i, frames[i], again[i])
+			}
+		}
+	})
+}

@@ -52,7 +52,10 @@ func DecodeTreeFrames(data []byte) ([]TreeFrame, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadTreeFrames, err)
 	}
-	if n*treeFrameSize != uint64(len(rest)) {
+	// Divide instead of multiplying: a hostile count like 2^60 would
+	// overflow n*treeFrameSize to a small value, slip past an equality
+	// check, and panic the frames allocation below.
+	if uint64(len(rest))%treeFrameSize != 0 || uint64(len(rest))/treeFrameSize != n {
 		return nil, fmt.Errorf("%w: %d frames in %d bytes", ErrBadTreeFrames, n, len(rest))
 	}
 	frames := make([]TreeFrame, 0, n)

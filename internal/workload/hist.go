@@ -1,0 +1,96 @@
+// Package workload synthesizes organization-scale traffic — sites, org
+// units, activities, users with Zipf-distributed object popularity and a
+// diurnal arrival curve — and drives it open-loop against a
+// mocca.Deployment on the simulated clock, composed with a seeded chaos
+// schedule (crashes, partitions, slow links, torn WAL tails). Every run
+// is byte-reproducible from its seed: the driver never spawns goroutines,
+// never reads the wall clock, and never iterates a map without sorting.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// histBuckets is the number of geometric latency buckets: bucket i covers
+// [2^i, 2^(i+1)) microseconds, so 48 buckets span sub-microsecond local
+// commits through partition-stretched visibility lags of several simulated
+// years — everything a scenario can produce.
+const histBuckets = 48
+
+// Histogram is a fixed-boundary, power-of-two-bucketed latency histogram.
+// Fixed boundaries keep two same-seed runs bucket-for-bucket identical and
+// make the histogram itself part of the run fingerprint.
+type Histogram struct {
+	Count   int64              `json:"count"`
+	SumUS   int64              `json:"sumUS"`
+	MaxUS   int64              `json:"maxUS"`
+	Buckets [histBuckets]int64 `json:"buckets"`
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.Count++
+	h.SumUS += us
+	if us > h.MaxUS {
+		h.MaxUS = us
+	}
+	h.Buckets[bucketFor(us)]++
+}
+
+func bucketFor(us int64) int {
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Quantile returns an upper bound for the p-quantile (0 < p <= 1): the
+// upper boundary of the bucket where the cumulative count crosses rank.
+// Bucket-edge answers are coarse (within 2x) but deterministic, which is
+// what a reproducibility harness needs.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(p * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= rank {
+			upper := int64(1) << uint(i+1)
+			if h.MaxUS < upper {
+				upper = h.MaxUS
+			}
+			return time.Duration(upper) * time.Microsecond
+		}
+	}
+	return time.Duration(h.MaxUS) * time.Microsecond
+}
+
+// Mean returns the average observed latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.SumUS/h.Count) * time.Microsecond
+}
+
+// String renders the canonical p50/p99/p999 summary line.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v p999=%v max=%v",
+		h.Count, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999),
+		time.Duration(h.MaxUS)*time.Microsecond)
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// User is one synthesized member of the organization.
+type User struct {
+	Name string // "u00042"
+	Site string // home site
+	Unit string // org unit
+}
+
+// Activity is one synthesized collaboration: an org unit's members
+// sharing a conference and a slice of the object pool.
+type Activity struct {
+	ID      string
+	Unit    string
+	Members []string // user names; bounded, these are the rtc participants
+}
+
+// Object is one synthesized shared-information object.
+type Object struct {
+	ID       string
+	Owner    string // user name; its home site is the owner's site
+	Activity string // context activity
+}
+
+// Org is a deterministic synthetic organization: every slice is in
+// creation order and every assignment came from the org's own seeded rng,
+// so the same (spec, seed) always yields the same org.
+type Org struct {
+	Sites      []string
+	Domains    []string
+	Units      []string
+	Users      []User
+	Activities []Activity
+	Objects    []Object
+
+	siteOf map[string]string // user -> site
+}
+
+// maxConfMembers bounds an activity's conference size: rtc fan-out is
+// O(members) per event, and CSCW conferences are meetings, not stadiums.
+const maxConfMembers = 8
+
+// SynthesizeOrg builds the organization for a spec. All randomness comes
+// from rng; the caller seeds it from the run seed.
+func SynthesizeOrg(spec Spec, rng *rand.Rand) *Org {
+	o := &Org{siteOf: make(map[string]string)}
+	for i := 0; i < spec.Sites; i++ {
+		name := fmt.Sprintf("s%03d", i)
+		o.Sites = append(o.Sites, name)
+		o.Domains = append(o.Domains, name+".example")
+	}
+	for i := 0; i < spec.OrgUnits; i++ {
+		o.Units = append(o.Units, fmt.Sprintf("ou%03d", i))
+	}
+	// Users round-robin across sites and units: the load is spatially
+	// uniform, the popularity skew (Zipf over objects) carries the heat.
+	for i := 0; i < spec.Users; i++ {
+		u := User{
+			Name: fmt.Sprintf("u%05d", i),
+			Site: o.Sites[i%len(o.Sites)],
+			Unit: o.Units[i%len(o.Units)],
+		}
+		o.Users = append(o.Users, u)
+		o.siteOf[u.Name] = u.Site
+	}
+	// Activities draw their members from one unit, capped at conference
+	// size. Member choice is rng-driven but order-stable.
+	byUnit := make(map[string][]string)
+	for _, u := range o.Users {
+		byUnit[u.Unit] = append(byUnit[u.Unit], u.Name)
+	}
+	for i := 0; i < spec.Activities; i++ {
+		unit := o.Units[i%len(o.Units)]
+		pool := byUnit[unit]
+		n := maxConfMembers
+		if n > len(pool) {
+			n = len(pool)
+		}
+		members := make([]string, 0, n)
+		seen := make(map[int]bool)
+		for len(members) < n {
+			j := rng.Intn(len(pool))
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			members = append(members, pool[j])
+		}
+		o.Activities = append(o.Activities, Activity{
+			ID:      fmt.Sprintf("act%04d", i),
+			Unit:    unit,
+			Members: members,
+		})
+	}
+	// Objects get an rng-picked owner (home site) and a context activity.
+	for i := 0; i < spec.Objects; i++ {
+		owner := o.Users[rng.Intn(len(o.Users))]
+		act := o.Activities[rng.Intn(len(o.Activities))]
+		o.Objects = append(o.Objects, Object{
+			ID:       fmt.Sprintf("obj%05d", i),
+			Owner:    owner.Name,
+			Activity: act.ID,
+		})
+	}
+	return o
+}
+
+// SiteOf reports a user's home site.
+func (o *Org) SiteOf(user string) string { return o.siteOf[user] }
+
+// DN renders a user's directory distinguished name.
+func (o *Org) DN(u User) string {
+	return fmt.Sprintf("cn=%s,ou=%s,o=mocca", u.Name, u.Unit)
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Op classes recorded by the driver. Latency semantics per class:
+//
+//	info.write / info.update — commit at the writer's site until every
+//	    live site has applied that (or a causally newer) version: the
+//	    replication-visibility lag the paper's shared information spaces
+//	    live or die by. Local commit itself is instantaneous in
+//	    simulated time, so commit latency would measure nothing.
+//	mail.send   — MTS submission until delivery into the recipient's
+//	    mailbox (per recipient), including relay retries across crashes.
+//	dir.lookup  — X.500 search round-trip against the deployment's DSA.
+//	trade.lookup — trader import round-trip against the trading service.
+//	rtc.join / rtc.set — conference join / WYSIWIS write round-trip
+//	    through the MCU.
+const (
+	ClassWrite  = "info.write"
+	ClassUpdate = "info.update"
+	ClassMail   = "mail.send"
+	ClassDir    = "dir.lookup"
+	ClassTrade  = "trade.lookup"
+	ClassJoin   = "rtc.join"
+	ClassSet    = "rtc.set"
+)
+
+// Classes lists every op class in canonical (report) order.
+var Classes = []string{ClassWrite, ClassUpdate, ClassMail, ClassDir, ClassTrade, ClassJoin, ClassSet}
+
+// Mix weights the op classes in the generated traffic; weights need not
+// sum to anything in particular.
+type Mix struct {
+	Write  float64 `json:"write"`
+	Update float64 `json:"update"`
+	Mail   float64 `json:"mail"`
+	Dir    float64 `json:"dir"`
+	Trade  float64 `json:"trade"`
+	Join   float64 `json:"join"`
+	Set    float64 `json:"set"`
+}
+
+// DefaultMix is update-heavy with a steady background of lookups, mail
+// and conference traffic — collaboration, not key-value churn.
+func DefaultMix() Mix {
+	return Mix{Write: 10, Update: 30, Mail: 15, Dir: 15, Trade: 10, Join: 5, Set: 15}
+}
+
+func (m Mix) weights() []float64 {
+	return []float64{m.Write, m.Update, m.Mail, m.Dir, m.Trade, m.Join, m.Set}
+}
+
+// ChaosSpec asks the harness to derive a fault timeline from the run seed
+// instead of spelling one out. Faults land in the middle 10%–70% of the
+// traffic window and every one of them heals before the convergence phase
+// begins, so a chaotic run must still reconverge.
+type ChaosSpec struct {
+	// Crashes is the number of crash→restart cycles on rng-picked sites.
+	Crashes int `json:"crashes"`
+	// Partitions is the number of partition→heal episodes, each splitting
+	// the sites into two rng-picked halves.
+	Partitions int `json:"partitions"`
+	// SlowLinks is the number of degrade→restore episodes pinning a high
+	// latency/loss profile onto one inter-site replication link.
+	SlowLinks int `json:"slowLinks"`
+	// TornTails upgrades that many crashes to also truncate a few bytes
+	// off the site's WAL tail while it is down (requires Spec.StoreDir).
+	TornTails int `json:"tornTails"`
+	// OutageMin/OutageMax bound each fault's duration. Zero values
+	// default to 2s–10s of simulated time.
+	OutageMin time.Duration `json:"outageMin"`
+	OutageMax time.Duration `json:"outageMax"`
+}
+
+// Fault is one entry in a scenario's fault timeline. Kind is one of
+// "crash" (Site down for Duration, then restarted), "partition" (Sites
+// vs the rest for Duration, then healed), "slowlink" (the Site↔Peer
+// replication link degraded for Duration) or "tornwal" (crash that also
+// truncates TornBytes off the WAL tail before the restart).
+type Fault struct {
+	At        time.Duration `json:"at"`
+	Kind      string        `json:"kind"`
+	Site      string        `json:"site,omitempty"`
+	Peer      string        `json:"peer,omitempty"`
+	Sites     []string      `json:"sites,omitempty"`
+	Duration  time.Duration `json:"duration"`
+	TornBytes int           `json:"tornBytes,omitempty"`
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case "partition":
+		return fmt.Sprintf("%v partition %v for %v", f.At, f.Sites, f.Duration)
+	case "slowlink":
+		return fmt.Sprintf("%v slowlink %s<->%s for %v", f.At, f.Site, f.Peer, f.Duration)
+	case "tornwal":
+		return fmt.Sprintf("%v tornwal %s (-%dB) for %v", f.At, f.Site, f.TornBytes, f.Duration)
+	default:
+		return fmt.Sprintf("%v %s %s for %v", f.At, f.Kind, f.Site, f.Duration)
+	}
+}
+
+// Spec declares one scenario: the synthesized organization, the traffic
+// shape, the deployment topology, and the fault timeline. A Spec plus its
+// Seed fully determines the run.
+type Spec struct {
+	Seed int64 `json:"seed"`
+
+	// Organization shape. Zero values take scale-derived defaults.
+	Sites      int `json:"sites"`
+	Users      int `json:"users"`
+	OrgUnits   int `json:"orgUnits"`
+	Activities int `json:"activities"`
+	Objects    int `json:"objects"`
+
+	// Topology is "mesh" (default) or "gossip" (WithGossip overlay).
+	Topology string `json:"topology"`
+	// StoreDir, when non-empty, backs every site with a durable logstore
+	// under StoreDir/<site> — required for torn-WAL faults.
+	StoreDir     string        `json:"storeDir,omitempty"`
+	SyncInterval time.Duration `json:"syncInterval"`
+
+	// Traffic shape. OpsPerUserHour is the mean arrival rate per user;
+	// the instantaneous rate follows a sinusoidal diurnal curve with the
+	// given amplitude (0..1) and period.
+	Duration         time.Duration `json:"duration"`
+	OpsPerUserHour   float64       `json:"opsPerUserHour"`
+	DiurnalAmplitude float64       `json:"diurnalAmplitude"`
+	DiurnalPeriod    time.Duration `json:"diurnalPeriod"`
+	// ZipfS/ZipfV shape object popularity (s > 1, v >= 1): a small hot
+	// set absorbs most updates, the long tail stays cold.
+	ZipfS float64 `json:"zipfS"`
+	ZipfV float64 `json:"zipfV"`
+	Mix   Mix     `json:"mix"`
+
+	// Faults is the explicit fault timeline; when nil and Chaos is set,
+	// the timeline is derived from the seed.
+	Faults []Fault    `json:"faults,omitempty"`
+	Chaos  *ChaosSpec `json:"chaos,omitempty"`
+
+	// ConvergeTimeout caps the post-traffic reconvergence phase in
+	// simulated time.
+	ConvergeTimeout time.Duration `json:"convergeTimeout"`
+}
+
+// withDefaults fills the zero values in. It returns a copy; the caller's
+// Spec is not mutated.
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Sites <= 0 {
+		s.Sites = 8
+	}
+	if s.Users <= 0 {
+		s.Users = 40 * s.Sites
+	}
+	if s.OrgUnits <= 0 {
+		s.OrgUnits = max(2, s.Sites/2)
+	}
+	if s.Activities <= 0 {
+		s.Activities = max(4, s.Users/100)
+	}
+	if s.Objects <= 0 {
+		s.Objects = max(16, s.Users/2)
+	}
+	switch s.Topology {
+	case "":
+		s.Topology = "mesh"
+	case "mesh", "gossip":
+	default:
+		return s, fmt.Errorf("workload: unknown topology %q (want mesh or gossip)", s.Topology)
+	}
+	if s.SyncInterval <= 0 {
+		s.SyncInterval = 5 * time.Second
+	}
+	if s.Duration <= 0 {
+		s.Duration = time.Minute
+	}
+	if s.OpsPerUserHour <= 0 {
+		s.OpsPerUserHour = 60
+	}
+	if s.DiurnalAmplitude < 0 || s.DiurnalAmplitude > 1 {
+		return s, fmt.Errorf("workload: diurnal amplitude %v out of [0,1]", s.DiurnalAmplitude)
+	}
+	if s.DiurnalAmplitude == 0 {
+		s.DiurnalAmplitude = 0.6
+	}
+	if s.DiurnalPeriod <= 0 {
+		// One full wave across the traffic window, so short scenarios
+		// still see the peak-to-trough swing a real day would bring.
+		s.DiurnalPeriod = s.Duration
+	}
+	if s.ZipfS <= 1 {
+		s.ZipfS = 1.2
+	}
+	if s.ZipfV < 1 {
+		s.ZipfV = 1
+	}
+	if s.Mix == (Mix{}) {
+		s.Mix = DefaultMix()
+	}
+	if s.ConvergeTimeout <= 0 {
+		s.ConvergeTimeout = 10 * time.Minute
+	}
+	if s.Chaos != nil {
+		c := *s.Chaos
+		if c.OutageMin <= 0 {
+			c.OutageMin = 2 * time.Second
+		}
+		if c.OutageMax < c.OutageMin {
+			c.OutageMax = c.OutageMin + 8*time.Second
+		}
+		if c.TornTails > 0 && s.StoreDir == "" {
+			return s, fmt.Errorf("workload: torn-WAL faults need StoreDir (a durable store to tear)")
+		}
+		if c.TornTails > c.Crashes {
+			c.Crashes = c.TornTails
+		}
+		s.Chaos = &c
+	}
+	return s, nil
+}

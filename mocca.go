@@ -954,6 +954,21 @@ func (s *Site) Overlay() *gossip.Overlay { return s.overlay }
 // JoinConference creates a session for a member at their own node and
 // joins it, driving the simulated clock until the join completes.
 func (d *Deployment) JoinConference(conferenceID, member string, opts ...rtc.SessionOption) (*rtc.Session, error) {
+	sess, err := d.NewConferenceSession(conferenceID, member, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.drive(sess.Join); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// NewConferenceSession prepares (but does not join) a session for a member
+// at their own node. Callers that run on the simulated-clock goroutine —
+// the workload driver — join via Session.GoJoin; interactive callers use
+// JoinConference, which drives the blocking Join to completion.
+func (d *Deployment) NewConferenceSession(conferenceID, member string, opts ...rtc.SessionOption) (*rtc.Session, error) {
 	nodeAddr := netsim.Address("user-" + member)
 	var ep *rpc.Endpoint
 	if _, exists := d.net.Node(nodeAddr); exists {
@@ -974,11 +989,24 @@ func (d *Deployment) JoinConference(conferenceID, member string, opts ...rtc.Ses
 		prev.Detach()
 	}
 	sess := rtc.NewSession(ep, d.clock, "mcu", conferenceID, member, opts...)
-	if err := d.drive(sess.Join); err != nil {
-		return nil, err
-	}
 	d.userSessions[nodeAddr] = sess
 	return sess, nil
+}
+
+// ServiceEndpoint returns (creating it on first use) an rpc endpoint at
+// addr on the simulated network, wired through the deployment's channel
+// stack and fabric observer like every site endpoint. Harness-level
+// infrastructure — the workload generator's DSA and trader nodes, per-site
+// load clients — lives on such endpoints so its traffic shows up in
+// Fabric totals under its own address prefix.
+func (d *Deployment) ServiceEndpoint(addr string) *rpc.Endpoint {
+	a := netsim.Address(addr)
+	if ep, ok := d.userEPs[a]; ok {
+		return ep
+	}
+	ep := d.endpointAt(a)
+	d.userEPs[a] = ep
+	return ep
 }
 
 // Do runs a blocking operation against the deployment, advancing simulated
