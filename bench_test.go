@@ -10,6 +10,7 @@ package mocca
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -607,6 +608,71 @@ func BenchmarkReplicaAntiEntropyScale(b *testing.B) {
 				b.ReportMetric(float64(dep.Fabric().TotalsFor("repl-").BytesOut-wireStart)/float64(b.N), "syncB/op")
 			})
 		}
+	}
+}
+
+// --- R6c: telemetry plane overhead -------------------------------------------
+
+// BenchmarkTelemetryOverhead prices the telemetry plane on the converged
+// anti-entropy write cycle (the hottest cross-subsystem path): without
+// the plane, with the plane present but the tracer disabled, and fully
+// enabled. The claim under test is that the disabled path costs nothing
+// measurable — every hook is one nil-or-atomic check and the wire format
+// stays version-1 — so deployments can ship with telemetry compiled in.
+// disabled-overhead-pct is the paired min-of-N comparison; it must stay
+// within the noise floor (≤ 2%).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const updates = 64
+	cycle := func(disable bool, opts ...Option) time.Duration {
+		dep := NewDeployment(append([]Option{WithSeed(3)}, opts...)...)
+		s0 := dep.AddSite("s0", "s0.net")
+		dep.AddSite("s1", "s1.net")
+		if disable {
+			dep.Telemetry().Tracer.SetEnabled(false)
+		}
+		obj, err := s0.Space().Put("ada", SharedSchemaName, map[string]string{"title": "v0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dep.Run()
+		version := obj.Version
+		start := time.Now()
+		for i := 0; i < updates; i++ {
+			upd, err := s0.Space().Update("ada", obj.ID, version,
+				map[string]string{"title": fmt.Sprintf("v%d", i+1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			version = upd.Version
+			dep.Run()
+		}
+		return time.Since(start)
+	}
+
+	// Interleaved paired trials: each trial times baseline and disabled
+	// back to back, so shared-machine noise hits both alike. The gate is
+	// the minimum paired ratio — for it to exceed 2%, noise would have to
+	// inflate the disabled half of every single pair, so a true ≤2%
+	// overhead cannot flake while a real regression cannot hide.
+	const trials = 7
+	base, enabled := time.Duration(1<<62), time.Duration(1<<62)
+	minRatio := math.Inf(1)
+	for i := 0; i < trials; i++ {
+		bt := cycle(false)
+		dt := cycle(true, WithTelemetry())
+		base = min(base, bt)
+		enabled = min(enabled, cycle(false, WithTelemetry()))
+		minRatio = min(minRatio, float64(dt)/float64(bt))
+	}
+	for i := 0; i < b.N; i++ { // metrics-only benchmark; measurement above
+	}
+	overheadPct := (minRatio - 1) * 100
+	b.ReportMetric(float64(base.Nanoseconds())/updates, "baseline-ns/update")
+	b.ReportMetric(overheadPct, "disabled-overhead-pct")
+	b.ReportMetric((float64(enabled)-float64(base))/float64(base)*100, "enabled-overhead-pct")
+	if overheadPct > 2.0 {
+		b.Fatalf("disabled telemetry costs %.2f%% over no telemetry in every paired trial, want ≤ 2%%",
+			overheadPct)
 	}
 }
 

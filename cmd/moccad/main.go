@@ -2,11 +2,22 @@
 // organisations, all four groupware quadrants, org/activity/expertise
 // models populated, a tailoring rule installed — and prints the resulting
 // environment report with the §6 ODP conformance table.
+//
+// With -telemetry the run records causal traces and metrics; -trace
+// writes the span timeline as Chrome trace-event JSON, and -metrics
+// serves the final snapshot as Prometheus-style text at
+// http://<addr>/metrics until interrupted:
+//
+//	moccad -telemetry -trace trace.json
+//	moccad -metrics localhost:9092   # curl localhost:9092/metrics
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 
 	"mocca"
 	"mocca/internal/expertise"
@@ -15,7 +26,18 @@ import (
 )
 
 func main() {
-	dep := mocca.NewDeployment(mocca.WithSeed(1992))
+	var (
+		telemetry   = flag.Bool("telemetry", false, "enable the tracing + metrics plane")
+		traceOut    = flag.String("trace", "", "write spans as Chrome trace-event JSON (implies -telemetry)")
+		metricsAddr = flag.String("metrics", "", "serve Prometheus text at http://addr/metrics after the run (implies -telemetry)")
+	)
+	flag.Parse()
+
+	depOpts := []mocca.Option{mocca.WithSeed(1992)}
+	if *telemetry || *traceOut != "" || *metricsAddr != "" {
+		depOpts = append(depOpts, mocca.WithTelemetry())
+	}
+	dep := mocca.NewDeployment(depOpts...)
 	env := dep.Env()
 
 	// Sites and users.
@@ -106,6 +128,35 @@ func main() {
 
 	st := dep.Network().Stats()
 	fmt.Printf("\nnetwork: %d sent, %d delivered, %d bytes\n", st.Sent, st.Delivered, st.Bytes)
+
+	if tel := dep.Telemetry(); tel != nil {
+		tc := tel.Tracer.Counts()
+		fmt.Printf("telemetry: %d traces, %d spans (%d retained), %d slow\n",
+			tc.Traces, tc.Spans, tc.Retained, tc.SlowSpans)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dep.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		must(f.Close())
+		fmt.Printf("trace written to %s (load at chrome://tracing)\n", *traceOut)
+	}
+	if *metricsAddr != "" {
+		// The deployment is quiescent here, so the snapshot per request is
+		// cheap and stable; collectors re-read the live Stats either way.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := dep.Metrics().Snapshot().WriteText(w); err != nil {
+				log.Print(err)
+			}
+		})
+		fmt.Printf("serving metrics at http://%s/metrics (ctrl-c to exit)\n", *metricsAddr)
+		log.Fatal(http.ListenAndServe(*metricsAddr, nil))
+	}
 }
 
 func must(err error) {

@@ -7,15 +7,23 @@
 //	moccaload -sites 32 -users 10000 -duration 2m -crashes 3 -partitions 2
 //	moccaload -topology gossip -sites 64 -seed 7
 //	moccaload -durable -torn 1 -crashes 2 -json
+//
+// With -trace the run records causal spans across every rpc hop and
+// writes them as Chrome trace-event JSON (chrome://tracing, perfetto);
+// -metrics dumps the final metric families as Prometheus-style text:
+//
+//	moccaload -sites 4 -duration 20s -trace trace.json -metrics -
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"mocca/internal/observe"
 	"mocca/internal/workload"
 )
 
@@ -36,6 +44,8 @@ func run() int {
 		slowlinks  = flag.Int("slowlinks", 0, "slow-link faults to schedule")
 		torn       = flag.Int("torn", 0, "crashes that also tear the WAL tail (implies -durable)")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
+		traceOut   = flag.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
+		metricsOut = flag.String("metrics", "", `dump final metrics as Prometheus text to this file ("-" for stdout)`)
 	)
 	flag.Parse()
 
@@ -66,10 +76,33 @@ func run() int {
 		spec.StoreDir = dir
 	}
 
-	rep, err := workload.Run(spec)
+	var (
+		rep *workload.Report
+		tel *observe.Telemetry
+		err error
+	)
+	if *traceOut != "" || *metricsOut != "" {
+		rep, tel, err = workload.RunTrace(spec)
+	} else {
+		rep, err = workload.Run(spec)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "moccaload:", err)
 		return 1
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(w io.Writer) error {
+			return observe.WriteChromeTrace(w, tel.Tracer.Spans())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "moccaload:", err)
+			return 1
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, tel.Metrics.Snapshot().WriteText); err != nil {
+			fmt.Fprintln(os.Stderr, "moccaload:", err)
+			return 1
+		}
 	}
 	if *asJSON {
 		blob, err := json.MarshalIndent(rep, "", "  ")
@@ -85,4 +118,20 @@ func run() int {
 		return 2
 	}
 	return 0
+}
+
+// writeFile streams fn's output to path, with "-" meaning stdout.
+func writeFile(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

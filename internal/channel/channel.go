@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"mocca/internal/netsim"
+	"mocca/internal/observe"
 	"mocca/internal/odp"
 	"mocca/internal/wire"
 )
@@ -68,7 +69,8 @@ func (d Direction) String() string {
 // Frame is one envelope crossing the stack, as interceptors observe it.
 // Outbound frames are intercepted before the stub marshals; inbound frames
 // after the stub unmarshals — interceptors always see structured envelopes,
-// never raw bytes.
+// never raw bytes. The *Frame an interceptor receives is pooled: valid
+// only for the duration of the call, never to be retained.
 type Frame struct {
 	Dir    Direction
 	Local  netsim.Address
@@ -130,12 +132,69 @@ type Observer interface {
 	FrameDiscarded(local, remote string, wireBytes int, reason string)
 }
 
+// namedInterceptor pairs an interceptor with the name drops are
+// attributed to in telemetry.
+type namedInterceptor struct {
+	name string
+	fn   Interceptor
+}
+
 // Option configures a Stack.
 type Option func(*Stack)
 
-// WithInterceptor appends an interceptor to the chain.
+// WithInterceptor appends an interceptor to the chain. It is attributed
+// by chain position ("#0", "#1", …) in drop telemetry; use
+// WithNamedInterceptor when the name matters.
 func WithInterceptor(i Interceptor) Option {
-	return func(s *Stack) { s.interceptors = append(s.interceptors, i) }
+	return func(s *Stack) {
+		s.interceptors = append(s.interceptors, namedInterceptor{
+			name: fmt.Sprintf("#%d", len(s.interceptors)),
+			fn:   i,
+		})
+	}
+}
+
+// WithNamedInterceptor appends an interceptor under an explicit name.
+// When the interceptor vetoes a frame, the drop is counted (and, for
+// traced frames, the drop span is attributed) under this name — so
+// failure-injection experiments stay visible in telemetry instead of
+// vanishing.
+func WithNamedInterceptor(name string, i Interceptor) Option {
+	return func(s *Stack) {
+		s.interceptors = append(s.interceptors, namedInterceptor{name: name, fn: i})
+	}
+}
+
+// WithTelemetry attaches the deployment telemetry plane. The stack then
+// records interceptor drops in the metrics registry under the dropping
+// interceptor's name, and closes the span of any traced frame an
+// interceptor discards with a "drop" status.
+func WithTelemetry(tel *observe.Telemetry) Option {
+	return func(s *Stack) {
+		if tel != nil {
+			s.tracer = tel.Tracer
+			s.metrics = tel.Metrics
+		}
+	}
+}
+
+// TracingInterceptor returns the channel-stack tracing interceptor: it
+// records every traced frame crossing the stack as an instantaneous
+// span ("frame.out:<kind>" / "frame.in:<kind>") attributed to the local
+// node, parented under the context the frame carries. Untraced frames
+// cost one field check.
+func TracingInterceptor(tr *observe.Tracer) Interceptor {
+	return func(f *Frame) error {
+		if !f.Env.Trace.IsZero() && tr.On() {
+			name := "frame.out:" + f.Env.Kind
+			if f.Dir == Inbound {
+				name = "frame.in:" + f.Env.Kind
+			}
+			tr.Event(name, string(f.Local), f.Env.Trace, "",
+				observe.Attr{Key: "remote", Value: string(f.Remote)})
+		}
+		return nil
+	}
 }
 
 // WithObserver registers the lifecycle/traffic observer.
@@ -155,14 +214,21 @@ func WithTransparencies(m odp.Mask) Option {
 type Stack struct {
 	proto        protocol
 	binder       Binder
-	interceptors []Interceptor
+	interceptors []namedInterceptor
 	observer     Observer
+	tracer       *observe.Tracer
+	metrics      *observe.Registry
 	mask         odp.Mask
 	maskString   string
 
 	mu    sync.Mutex
 	stats map[netsim.Address]*Stats
 	recv  Receiver
+
+	// framePool recycles the Frame handed to interceptors: passing a
+	// pointer to dynamic funcs forces a heap escape per frame, which a
+	// pool amortises to zero steady-state allocations.
+	framePool sync.Pool
 }
 
 // New builds a channel stack over the node and installs the protocol
@@ -203,16 +269,19 @@ func (s *Stack) Handle(r Receiver) {
 // successful Send (the binder may have stamped headers on it).
 func (s *Stack) Send(to netsim.Address, env *wire.Envelope) error {
 	if len(s.interceptors) > 0 {
-		f := Frame{Dir: Outbound, Local: s.proto.node.Addr(), Remote: to, Env: env}
+		f := s.frame(Outbound, to, env)
 		for _, ic := range s.interceptors {
-			if err := ic(&f); err != nil {
+			if err := ic.fn(f); err != nil {
+				s.framePool.Put(f)
 				s.bumpLocked(to, func(st *Stats) { st.DroppedOut++ })
+				s.frameDropped(ic.name, Outbound, env)
 				if errors.Is(err, ErrDropFrame) {
 					return nil
 				}
 				return err
 			}
 		}
+		s.framePool.Put(f)
 	}
 
 	// Binder: record (or establish) the binding and stamp its epoch.
@@ -291,6 +360,33 @@ func (s *Stack) Total() Stats {
 	return t
 }
 
+// frame checks a pooled Frame out and fills it for one interceptor pass.
+// Interceptors must not retain the pointer past their return.
+func (s *Stack) frame(dir Direction, remote netsim.Address, env *wire.Envelope) *Frame {
+	f, _ := s.framePool.Get().(*Frame)
+	if f == nil {
+		f = new(Frame)
+	}
+	*f = Frame{Dir: dir, Local: s.proto.node.Addr(), Remote: remote, Env: env}
+	return f
+}
+
+// frameDropped records an interceptor veto in telemetry: a counter
+// under the dropping interceptor's name, and — when the frame carried a
+// trace — a span closed with "drop" status, so the frame's fate is
+// visible in the trace instead of silently vanishing.
+func (s *Stack) frameDropped(interceptor string, dir Direction, env *wire.Envelope) {
+	if s.metrics != nil {
+		s.metrics.Counter("mocca.channel.interceptor_drops",
+			observe.L("interceptor", interceptor, "dir", dir.String())...).Inc()
+	}
+	if !env.Trace.IsZero() && s.tracer.On() {
+		s.tracer.Event("frame.drop:"+env.Kind, string(s.proto.node.Addr()), env.Trace, "drop",
+			observe.Attr{Key: "interceptor", Value: interceptor},
+			observe.Attr{Key: "dir", Value: dir.String()})
+	}
+}
+
 // bumpLocked applies fn to the remote's counters under the lock.
 func (s *Stack) bumpLocked(remote netsim.Address, fn func(*Stats)) {
 	s.mu.Lock()
@@ -341,13 +437,16 @@ func (s *Stack) onMessage(msg netsim.Message) {
 	}
 
 	if len(s.interceptors) > 0 {
-		f := Frame{Dir: Inbound, Local: s.proto.node.Addr(), Remote: msg.From, Env: env}
+		f := s.frame(Inbound, msg.From, env)
 		for _, ic := range s.interceptors {
-			if ic(&f) != nil {
+			if ic.fn(f) != nil {
+				s.framePool.Put(f)
 				discard("interceptor", func(st *Stats) { st.DroppedIn++ })
+				s.frameDropped(ic.name, Inbound, env)
 				return
 			}
 		}
+		s.framePool.Put(f)
 	}
 
 	s.mu.Lock()

@@ -1,0 +1,118 @@
+package channel
+
+import (
+	"testing"
+
+	"mocca/internal/netsim"
+	"mocca/internal/observe"
+	"mocca/internal/vclock"
+	"mocca/internal/wire"
+)
+
+// TestDroppedFrameClosesSpanUnderInterceptorName is the
+// failure-visibility contract: a frame vetoed by an interceptor must
+// still close its span with "drop" status, attributed to the dropping
+// interceptor, and count in the registry under that interceptor's name.
+func TestDroppedFrameClosesSpanUnderInterceptorName(t *testing.T) {
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(1))
+	tel := observe.New(1, clk.Now)
+
+	a := New(net.MustAddNode("a"), WithTelemetry(tel))
+	drops := 0
+	b := New(net.MustAddNode("b"),
+		WithTelemetry(tel),
+		WithNamedInterceptor("trace", TracingInterceptor(tel.Tracer)),
+		WithNamedInterceptor("chaos", func(f *Frame) error {
+			if f.Dir == Inbound && f.Env.Kind == "test.drop" {
+				drops++
+				return ErrDropFrame
+			}
+			return nil
+		}),
+	)
+	got := 0
+	b.Handle(func(from netsim.Address, env *wire.Envelope) { got++ })
+
+	root := tel.Tracer.StartRoot("op", "a")
+	rootCtx := root.Context()
+	env := wire.NewEnvelope("test.drop", "c1", []byte("x"))
+	env.Trace = rootCtx
+	if err := a.Send("b", env); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntilIdle()
+	root.End()
+
+	if drops != 1 || got != 0 {
+		t.Fatalf("drops=%d delivered=%d", drops, got)
+	}
+
+	// The drop must be counted under the dropping interceptor's name.
+	snap := tel.Metrics.Snapshot()
+	if n := snap.Value("mocca.channel.interceptor_drops",
+		observe.L("interceptor", "chaos", "dir", "inbound")...); n != 1 {
+		t.Fatalf("interceptor drop counter = %d, want 1\n%+v", n, snap.Points)
+	}
+
+	// And the trace must contain a span with drop status naming the
+	// interceptor — plus the inbound frame event from the tracing
+	// interceptor that ran before the chaos one.
+	var dropSpan, frameIn bool
+	for _, sp := range tel.Tracer.Spans() {
+		if sp.TraceID != rootCtx.TraceID {
+			continue
+		}
+		switch sp.Name {
+		case "frame.drop:test.drop":
+			dropSpan = true
+			if sp.Status != "drop" || sp.Site != "b" {
+				t.Fatalf("drop span = %+v", sp)
+			}
+			var named bool
+			for _, a := range sp.Attrs {
+				if a.Key == "interceptor" && a.Value == "chaos" {
+					named = true
+				}
+			}
+			if !named {
+				t.Fatalf("drop span not attributed: %+v", sp.Attrs)
+			}
+		case "frame.in:test.drop":
+			frameIn = true
+		}
+	}
+	if !dropSpan {
+		t.Fatalf("no drop span recorded; spans: %+v", tel.Tracer.Spans())
+	}
+	if !frameIn {
+		t.Fatalf("tracing interceptor recorded no inbound frame event")
+	}
+}
+
+// TestAnonymousInterceptorDropsAttributedByPosition: interceptors
+// registered without a name still get a stable identity in drop
+// accounting.
+func TestAnonymousInterceptorDropsAttributedByPosition(t *testing.T) {
+	clk := vclock.NewSimulated(netsim.DefaultEpoch)
+	net := netsim.New(netsim.WithClock(clk), netsim.WithSeed(1))
+	tel := observe.New(1, clk.Now)
+
+	a := New(net.MustAddNode("a"),
+		WithTelemetry(tel),
+		WithInterceptor(func(f *Frame) error { return nil }),
+		WithInterceptor(func(f *Frame) error { return ErrDropFrame }),
+	)
+	env := wire.NewEnvelope("k", "c", nil)
+	if err := a.Send("b", env); err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Metrics.Snapshot()
+	if n := snap.Value("mocca.channel.interceptor_drops",
+		observe.L("interceptor", "#1", "dir", "outbound")...); n != 1 {
+		t.Fatalf("positional drop counter = %d, want 1\n%+v", n, snap.Points)
+	}
+	if a.Stats("b").DroppedOut != 1 {
+		t.Fatalf("stack stats missed the drop")
+	}
+}

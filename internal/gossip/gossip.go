@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"mocca/internal/netsim"
+	"mocca/internal/observe"
 	"mocca/internal/rpc"
 	"mocca/internal/vclock"
 )
@@ -210,6 +211,20 @@ func WithContacts(fn func() []Peer) Option { return func(o *Overlay) { o.contact
 // rumor targets, so hot spaces gossip with placed peers first.
 func WithBias(fn func(site string) int) Option { return func(o *Overlay) { o.bias = fn } }
 
+// WithTelemetry attaches the deployment telemetry plane: rumor publishes
+// and forwards for a tagged object ride under the originating write's
+// trace (an instant gossip.publish/gossip.forward span plus the context
+// stamped on the rumor and fetch rpcs), so epidemic propagation shows up
+// in the same trace as the write that seeded it.
+func WithTelemetry(tel *observe.Telemetry) Option {
+	return func(o *Overlay) {
+		if tel != nil {
+			o.tracer = tel.Tracer
+			o.objects = tel.Objects
+		}
+	}
+}
+
 // WithOnChange installs the active-view churn callback — how the
 // replication layer's peer set follows the overlay. It runs outside the
 // overlay lock.
@@ -227,6 +242,8 @@ type Overlay struct {
 	contacts func() []Peer
 	bias     func(site string) int
 	onChange func(added, removed []Peer)
+	tracer   *observe.Tracer
+	objects  *observe.ObjectTraces
 
 	activeSize  int
 	passiveSize int

@@ -6,8 +6,10 @@ import (
 
 	"mocca/internal/information"
 	"mocca/internal/netsim"
+	"mocca/internal/observe"
 	"mocca/internal/rpc"
 	"mocca/internal/vclock"
+	"mocca/internal/wire"
 )
 
 // errClosed answers protocol calls that land on a crashed overlay.
@@ -198,8 +200,8 @@ func (o *Overlay) register() {
 		return probeResp{OK: true}, nil
 	}))
 
-	o.ep.MustRegister(MethodRumor, rpc.HandleJSON(func(_ netsim.Address, req rumorReq) (rumorResp, error) {
-		return o.handleRumor(req), nil
+	o.ep.MustRegister(MethodRumor, rpc.HandleJSONCtx(func(_ netsim.Address, tc wire.TraceContext, req rumorReq) (rumorResp, error) {
+		return o.handleRumor(tc, req), nil
 	}))
 
 	o.ep.MustRegister(MethodFetch, rpc.HandleJSON(func(_ netsim.Address, req fetchReq) (fetchResp, error) {
@@ -226,7 +228,17 @@ func (o *Overlay) Publish(id string, vv vclock.Version, rank func(site string) i
 	targets := o.rumorTargetsLocked("", rank)
 	o.stats.RumorsPublished++
 	o.mu.Unlock()
-	o.sendRumor(targets, rumorReq{From: o.self, TTL: o.ttl, Entries: []rumorEntry{{ID: id, VV: vv}}})
+	// A tagged object's rumor rides the originating write's trace: the
+	// publish is an instant span under it and every rumor rpc carries it.
+	var tc wire.TraceContext
+	if o.tracer.On() {
+		if parent, ok := o.objects.Lookup(id); ok {
+			o.tracer.Event("gossip.publish", o.self.Site, parent, "",
+				observe.Attr{Key: "object", Value: id})
+			tc = parent
+		}
+	}
+	o.sendRumor(targets, rumorReq{From: o.self, TTL: o.ttl, Entries: []rumorEntry{{ID: id, VV: vv}}}, tc)
 }
 
 // handleRumor processes an incoming rumor. Entries this replica already
@@ -236,7 +248,7 @@ func (o *Overlay) Publish(id string, vv vclock.Version, rank func(site string) i
 // its forwarding provokes, otherwise the epidemic dies at the first
 // member whose pull raced its push. Entries whose pull fails are not
 // re-forwarded; anti-entropy repairs that path.
-func (o *Overlay) handleRumor(req rumorReq) rumorResp {
+func (o *Overlay) handleRumor(tc wire.TraceContext, req rumorReq) rumorResp {
 	o.mu.Lock()
 	if o.closed {
 		o.mu.Unlock()
@@ -268,6 +280,8 @@ func (o *Overlay) handleRumor(req rumorReq) rumorResp {
 			ids[i] = e.ID
 		}
 		sort.Strings(ids)
+		// The fetch continues the rumor's trace: tc is the serve-span
+		// context of the incoming gossip.rumor rpc (zero when untraced).
 		o.ep.GoJSON(req.From.Addr, MethodFetch, fetchReq{Site: o.self.Site, IDs: ids}, func(res rpc.Result) {
 			var resp fetchResp
 			if err := res.Decode(&resp); err != nil || o.replica == nil {
@@ -292,7 +306,7 @@ func (o *Overlay) handleRumor(req rumorReq) rumorResp {
 				}
 			}
 			o.forwardRumor(landed, req.TTL, req.From.Addr)
-		}, rpc.CallTimeout(o.timeout))
+		}, rpc.CallTimeout(o.timeout), rpc.CallTrace(tc))
 	}
 	return rumorResp{Want: len(want)}
 }
@@ -314,7 +328,17 @@ func (o *Overlay) forwardRumor(entries []rumorEntry, ttl int, from netsim.Addres
 	}
 	o.mu.Unlock()
 	if len(targets) > 0 {
-		o.sendRumor(targets, rumorReq{From: o.self, TTL: ttl - 1, Entries: entries})
+		// A single-entry batch can keep riding its write's trace; mixed
+		// batches have no one parent and go untraced.
+		var tc wire.TraceContext
+		if len(entries) == 1 && o.tracer.On() {
+			if parent, ok := o.objects.Lookup(entries[0].ID); ok {
+				o.tracer.Event("gossip.forward", o.self.Site, parent, "",
+					observe.Attr{Key: "object", Value: entries[0].ID})
+				tc = parent
+			}
+		}
+		o.sendRumor(targets, rumorReq{From: o.self, TTL: ttl - 1, Entries: entries}, tc)
 	}
 }
 
@@ -346,11 +370,11 @@ func (o *Overlay) rumorTargetsLocked(exclude netsim.Address, rank func(site stri
 	return out
 }
 
-func (o *Overlay) sendRumor(targets []Peer, req rumorReq) {
+func (o *Overlay) sendRumor(targets []Peer, req rumorReq, tc wire.TraceContext) {
 	for _, p := range targets {
 		o.ep.GoJSON(p.Addr, MethodRumor, req, func(rpc.Result) {
 			// Losing a rumor is fine: anti-entropy is the repair path.
-		}, rpc.CallTimeout(o.timeout))
+		}, rpc.CallTimeout(o.timeout), rpc.CallTrace(tc))
 	}
 }
 

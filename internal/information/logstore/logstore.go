@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 
 	"mocca/internal/information"
+	"mocca/internal/observe"
 	"mocca/internal/vclock"
 	"mocca/internal/wire"
 )
@@ -186,6 +187,12 @@ type Store struct {
 	flushBytes   int64
 	fanout       int
 	bgMerge      bool
+
+	// Telemetry, set once at wiring time before any traffic (see
+	// SetTelemetry); both are nil-safe when absent.
+	tracer  *observe.Tracer
+	objects *observe.ObjectTraces
+	site    string
 
 	mu          sync.Mutex // orders mutations; WAL order == commit order
 	wal         *os.File
@@ -508,16 +515,48 @@ func (s *Store) replayWAL() error {
 // then waits outside it for the group flush — see WithGroupCommit for the
 // batching and failure semantics.
 func (s *Store) Exec(id string, fn func(cur *information.Object) (*information.Object, error)) (*information.Object, error) {
+	// When the id carries a trace tag (the write-path layers above tag
+	// objects as traffic enters the site), the durable commit — WAL
+	// append, or enqueue + group-flush wait — is a span of that trace.
+	var span observe.ActiveSpan
+	if s.tracer.On() {
+		if parent, ok := s.objects.Lookup(id); ok {
+			span = s.tracer.StartChild("wal.commit", s.site, parent)
+			span.SetAttr("object", id)
+		}
+	}
 	obj, waitSeq, err := s.execLocked(id, fn)
-	if err != nil || obj == nil {
+	if err != nil {
+		span.EndStatus("error")
 		return obj, err
 	}
+	if obj == nil {
+		span.EndStatus("noop")
+		return obj, nil
+	}
 	if waitSeq > 0 {
+		span.SetAttr("mode", "group")
 		if werr := s.waitDurable(waitSeq); werr != nil {
+			span.EndStatus("error")
 			return nil, werr
 		}
 	}
+	span.End()
 	return obj, nil
+}
+
+// SetTelemetry attaches the deployment telemetry plane: Exec emits a
+// wal.commit span under the originating write's trace (looked up by
+// object id in the shared tag table) covering the append — or, in
+// group-commit mode, the enqueue and the wait for the flush window.
+// Must be called before the store sees traffic; nil disables tracing.
+func (s *Store) SetTelemetry(tel *observe.Telemetry, site string) {
+	if tel == nil {
+		return
+	}
+	s.tracer = tel.Tracer
+	s.objects = tel.Objects
+	s.site = site
 }
 
 // writableLocked reports whether mutations are admitted. Caller holds

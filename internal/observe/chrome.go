@@ -1,0 +1,90 @@
+package observe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry in the Chrome trace-event format
+// (chrome://tracing, Perfetto). Complete events ("ph":"X") carry a
+// start timestamp and duration in microseconds; metadata events
+// ("ph":"M") name the rows.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports spans as Chrome trace-event JSON. Each site
+// becomes a named row (tid); timestamps are microseconds relative to
+// the earliest span so the viewer opens at t=0. The output is a single
+// JSON object with a traceEvents array, loadable in chrome://tracing or
+// Perfetto.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	sites := make([]string, 0, 8)
+	seen := make(map[string]bool)
+	for _, sp := range spans {
+		if !seen[sp.Site] {
+			seen[sp.Site] = true
+			sites = append(sites, sp.Site)
+		}
+	}
+	sort.Strings(sites)
+	tids := make(map[string]int, len(sites))
+	for i, s := range sites {
+		tids[s] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(sites))
+	for _, s := range sites {
+		name := s
+		if name == "" {
+			name = "(unattributed)"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[s],
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	var epoch int64
+	for i, sp := range spans {
+		us := sp.Start.UnixNano() / 1e3
+		if i == 0 || us < epoch {
+			epoch = us
+		}
+	}
+	for _, sp := range spans {
+		args := map[string]any{
+			"trace": fmt.Sprintf("%016x", sp.TraceID),
+			"span":  fmt.Sprintf("%016x", sp.SpanID),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", sp.Parent)
+		}
+		if sp.Status != "" {
+			args["status"] = sp.Status
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   sp.Start.UnixNano()/1e3 - epoch,
+			Dur:  sp.End.Sub(sp.Start).Microseconds(),
+			Pid:  1,
+			Tid:  tids[sp.Site],
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

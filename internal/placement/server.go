@@ -9,8 +9,10 @@ import (
 
 	"mocca/internal/information"
 	"mocca/internal/netsim"
+	"mocca/internal/observe"
 	"mocca/internal/rpc"
 	"mocca/internal/trader"
+	"mocca/internal/wire"
 )
 
 // Trading vocabulary of the placement subsystem: every site exports one
@@ -92,15 +94,28 @@ func WithHolderPolicy(p *Policy) ReadServerOption {
 	return func(s *ReadServer) { s.policy = p }
 }
 
+// WithServerTelemetry attaches the deployment telemetry: a forwarded
+// write that lands here re-tags the object with the serve-span context,
+// so the WAL commit and later anti-entropy hops at this site parent
+// under the forward instead of starting orphan traces.
+func WithServerTelemetry(tel *observe.Telemetry) ReadServerOption {
+	return func(s *ReadServer) {
+		if tel != nil {
+			s.objects = tel.Objects
+		}
+	}
+}
+
 // ReadServer serves MethodRead and MethodWrite for one site: remote
 // readers resolve this site through the trader and read objects out of
 // its replica; non-placed writers forward stranded rows in. Access
 // control is the space's own — the shared ACL system means a grant made
 // anywhere is effective here too.
 type ReadServer struct {
-	site   string
-	space  func() *information.Space
-	policy *Policy
+	site    string
+	space   func() *information.Space
+	policy  *Policy
+	objects *observe.ObjectTraces
 
 	mu    sync.Mutex
 	stats ReadServerStats
@@ -123,7 +138,7 @@ func NewReadServer(ep *rpc.Endpoint, site string, space func() *information.Spac
 		s.bump(func(st *ReadServerStats) { st.Served++ })
 		return readResp{Site: s.site, Object: information.ToWire(obj)}, nil
 	}))
-	ep.MustRegister(MethodWrite, rpc.HandleJSON(func(_ netsim.Address, req writeReq) (writeResp, error) {
+	ep.MustRegister(MethodWrite, rpc.HandleJSONCtx(func(_ netsim.Address, tc wire.TraceContext, req writeReq) (writeResp, error) {
 		obj := information.FromWire(req.Object)
 		if s.policy != nil && s.policy.Selective() && !s.policy.PlacedAt(s.site, Describe(obj)) {
 			// The space moved again while the forward was in flight: the
@@ -131,6 +146,9 @@ func NewReadServer(ep *rpc.Endpoint, site string, space func() *information.Spac
 			s.bump(func(st *ReadServerStats) { st.WritesRefused++ })
 			return writeResp{}, fmt.Errorf("placement: site %q not placed for %q", s.site, obj.ID)
 		}
+		// Re-tag before applying: the apply fires write events (WAL
+		// append, replicator dirtying) that look the context up by id.
+		s.objects.Tag(obj.ID, tc)
 		changed, _, err := s.space().ApplyRemote(obj)
 		if err != nil {
 			s.bump(func(st *ReadServerStats) { st.WritesRefused++ })
@@ -224,6 +242,19 @@ func WithFailureCooldown(n int) ReaderOption {
 	return func(r *Reader) { r.cooldown = n }
 }
 
+// WithReaderTelemetry attaches the deployment telemetry: Forward opens
+// a child span under the originating write's trace (looked up by object
+// id) and stamps every holder attempt with it, so the forward hop shows
+// up between the local put and the holder-side serve span.
+func WithReaderTelemetry(tel *observe.Telemetry) ReaderOption {
+	return func(r *Reader) {
+		if tel != nil {
+			r.tracer = tel.Tracer
+			r.objects = tel.Objects
+		}
+	}
+}
+
 // negEntry scopes one cached miss: valid only while both the policy
 // version and the local write generation are unchanged, and — when a
 // TTL is configured — only within the staleness bound of its store time.
@@ -249,6 +280,8 @@ type Reader struct {
 	negTTL   time.Duration    // bounded staleness of cached misses; 0 = no expiry
 	now      func() time.Time // clock the TTL is measured against
 	cooldown int
+	tracer   *observe.Tracer
+	objects  *observe.ObjectTraces
 
 	mu    sync.Mutex
 	stats ReaderStats
@@ -491,13 +524,35 @@ func (r *Reader) Forward(obj *information.Object, pl Placement, done func(site s
 		done = func(string, error) {}
 	}
 	r.bump(func(s *ReaderStats) { s.Forwards++ })
+
+	// Continue the originating write's trace across the async hop: the
+	// put at this site tagged the object id with its root context, so
+	// the forward span nests under it and every holder attempt carries
+	// the forward span's context on the wire.
+	forwardCtx, _ := r.objects.Lookup(obj.ID)
+	var span observe.ActiveSpan
+	if !forwardCtx.IsZero() && r.tracer.On() {
+		span = r.tracer.StartChild("placement.forward", r.site, forwardCtx)
+		span.SetAttr("object", obj.ID)
+		forwardCtx = span.Context()
+	}
+	finish := func(site string, err error) {
+		if err != nil {
+			span.EndStatus("error")
+		} else {
+			span.SetAttr("holder", site)
+			span.End()
+		}
+		done(site, err)
+	}
+
 	sites := pl.Sites
 	if pl.Everywhere {
 		sites = nil // any holder will do
 	}
 	candidates, err := r.providers(obj.Owner, sites)
 	if err != nil {
-		done("", fmt.Errorf("placement: forward %q: %w", obj.ID, err))
+		finish("", fmt.Errorf("placement: forward %q: %w", obj.ID, err))
 		return
 	}
 	ordered := r.holderOrder(candidates)
@@ -506,10 +561,10 @@ func (r *Reader) Forward(obj *information.Object, pl Placement, done func(site s
 	attempt = func(i int, lastErr error) {
 		if i >= len(ordered) {
 			if lastErr != nil {
-				done("", fmt.Errorf("%w for forwarded write %q (site %s tried %d holders, last error: %v)",
+				finish("", fmt.Errorf("%w for forwarded write %q (site %s tried %d holders, last error: %v)",
 					ErrNoHolder, obj.ID, r.site, len(ordered), lastErr))
 			} else {
-				done("", fmt.Errorf("%w for forwarded write %q (site %s found no placed holder)",
+				finish("", fmt.Errorf("%w for forwarded write %q (site %s found no placed holder)",
 					ErrNoHolder, obj.ID, r.site))
 			}
 			return
@@ -530,8 +585,8 @@ func (r *Reader) Forward(obj *information.Object, pl Placement, done func(site s
 			}
 			r.noteSuccess(provider)
 			r.bump(func(s *ReaderStats) { s.Forwarded++ })
-			done(resp.Site, nil)
-		}, rpc.CallTimeout(r.timeout))
+			finish(resp.Site, nil)
+		}, rpc.CallTimeout(r.timeout), rpc.CallTrace(forwardCtx))
 	}
 	attempt(0, nil)
 }

@@ -40,12 +40,14 @@ package replica
 import (
 	"errors"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"mocca/internal/information"
 	"mocca/internal/netsim"
+	"mocca/internal/observe"
 	"mocca/internal/placement"
 	"mocca/internal/rpc"
 	"mocca/internal/vclock"
@@ -237,6 +239,21 @@ func WithPlacement(p *placement.Policy) Option {
 	return func(r *Replicator) { r.policy = p }
 }
 
+// WithTelemetry attaches the deployment telemetry plane: every sync
+// round runs under its own root span whose context rides the digest,
+// push and descent rpcs, and each delta that changes local state emits
+// a sync.apply span under the originating write's trace (looked up by
+// object id in the shared tag table) — the hop that lets one trace run
+// from a put at site A to the replica apply at site B.
+func WithTelemetry(tel *observe.Telemetry) Option {
+	return func(r *Replicator) {
+		if tel != nil {
+			r.tracer = tel.Tracer
+			r.objects = tel.Objects
+		}
+	}
+}
+
 // WithFullDigest disables the Merkle digest negotiation entirely: the
 // replicator neither initiates it nor serves MethodDigest, behaving like
 // a pre-negotiation binary. Peers detect the missing method on their
@@ -280,6 +297,8 @@ type Replicator struct {
 	timeout    time.Duration
 	policy     *placement.Policy
 	fullDigest bool
+	tracer     *observe.Tracer
+	objects    *observe.ObjectTraces
 
 	onRoundFail func() // membership-layer hook: a sync round saw peer failures
 
@@ -564,6 +583,13 @@ type roundState struct {
 	descentDepth  int  // deepest subtree descent any peer exchange needed
 	applied       int  // deltas merged in across the round
 	pushed        int  // objects pushed across the round
+
+	// Round tracing: span is the round's root span (inactive when the
+	// tracer is off) and trace its context, stamped on every rpc the
+	// round issues. roundState copies share the same recorded span; only
+	// roundDone ends it.
+	span  observe.ActiveSpan
+	trace wire.TraceContext
 }
 
 // fire initiates a round. Runs on the clock's event goroutine.
@@ -581,7 +607,12 @@ func (r *Replicator) fire() {
 	peers := append([]peer(nil), r.peers...)
 	r.mu.Unlock()
 	sort.Slice(peers, func(i, j int) bool { return peers[i].addr < peers[j].addr })
-	r.syncPeer(peers, 0, roundState{})
+	var st roundState
+	if r.tracer.On() {
+		st.span = r.tracer.StartRoot("sync.round", r.site)
+		st.trace = st.span.Context()
+	}
+	r.syncPeer(peers, 0, st)
 }
 
 // syncPeer exchanges with peers[i] and chains to the next peer; exchanges
@@ -677,8 +708,8 @@ func (r *Replicator) legacySync(p peer, st roundState, next func(roundState)) {
 				}
 			}
 			next(st)
-		}, rpc.CallTimeout(r.timeout))
-	}, rpc.CallTimeout(r.timeout))
+		}, rpc.CallTimeout(r.timeout), rpc.CallTrace(st.trace))
+	}, rpc.CallTimeout(r.timeout), rpc.CallTrace(st.trace))
 }
 
 // roundDone closes a round and decides whether to re-arm: an explicit
@@ -686,6 +717,15 @@ func (r *Replicator) legacySync(p peer, st roundState, next func(roundState)) {
 // AutoSync — or, under AutoSync, data moved or the round failed with
 // failure budget remaining (so partitions are retried, but not forever).
 func (r *Replicator) roundDone(st roundState) {
+	if st.span.Active() {
+		st.span.SetAttr("applied", strconv.Itoa(st.applied))
+		st.span.SetAttr("pushed", strconv.Itoa(st.pushed))
+		if st.failures > 0 {
+			st.span.EndStatus("failures")
+		} else {
+			st.span.End()
+		}
+	}
 	r.mu.Lock()
 	r.running = false
 	r.stats.LastRoundDigestEntries = st.digestEntries
@@ -739,6 +779,15 @@ func (r *Replicator) applyDeltas(deltas []wireObject) (applied int) {
 		}
 		if changed {
 			applied++
+			// Anti-entropy delivery closes the causal chain: the apply is
+			// a span of the trace that wrote the object, not of the sync
+			// round that happened to carry it.
+			if r.tracer.On() {
+				if parent, ok := r.objects.Lookup(obj.ID); ok {
+					r.tracer.Event("sync.apply", r.site, parent, "",
+						observe.Attr{Key: "object", Value: obj.ID})
+				}
+			}
 		}
 		if conflict {
 			r.bump(func(s *Stats) { s.Conflicts++ })
@@ -1006,8 +1055,8 @@ func (m *merkleExchange) open() {
 				m.st.moved = true
 			}
 			m.verify()
-		}, rpc.CallTimeout(r.timeout))
-	}, rpc.CallTimeout(r.timeout))
+		}, rpc.CallTimeout(r.timeout), rpc.CallTrace(m.st.trace))
+	}, rpc.CallTimeout(r.timeout), rpc.CallTrace(m.st.trace))
 }
 
 // verify recompares roots after the fast path moved state; a mismatch
@@ -1029,7 +1078,7 @@ func (m *merkleExchange) verify() {
 			return
 		}
 		m.descend(resp.Frames)
-	}, rpc.CallTimeout(r.timeout))
+	}, rpc.CallTimeout(r.timeout), rpc.CallTrace(m.st.trace))
 }
 
 // descend compares the peer's frames against the local tree: mismatched
@@ -1090,7 +1139,7 @@ func (m *merkleExchange) descend(framesEnc []byte) {
 			return
 		}
 		m.descend(resp.Frames)
-	}, rpc.CallTimeout(r.timeout))
+	}, rpc.CallTimeout(r.timeout), rpc.CallTrace(m.st.trace))
 }
 
 // scopedSync runs the classic digest exchange narrowed to the divergent
@@ -1161,8 +1210,8 @@ func (m *merkleExchange) scopedSync(tree *information.DigestTree) {
 				m.st.moved = true
 			}
 			m.finish(true)
-		}, rpc.CallTimeout(r.timeout))
-	}, rpc.CallTimeout(r.timeout))
+		}, rpc.CallTimeout(r.timeout), rpc.CallTrace(m.st.trace))
+	}, rpc.CallTimeout(r.timeout), rpc.CallTrace(m.st.trace))
 }
 
 // register installs the protocol handlers. All are pure local compute,

@@ -20,12 +20,14 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"mocca/internal/channel"
 	"mocca/internal/id"
 	"mocca/internal/netsim"
+	"mocca/internal/observe"
 	"mocca/internal/vclock"
 	"mocca/internal/wire"
 )
@@ -54,11 +56,17 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
 }
 
-// Request is an inbound invocation as seen by a handler.
+// Request is an inbound invocation as seen by a handler. Trace is the
+// live trace context at the handler boundary: the serve span's context
+// when the endpoint has a tracer, otherwise the context the request
+// envelope carried (zero if untraced). Handlers propagate it into
+// downstream calls via CallTrace and into their own spans as the
+// parent.
 type Request struct {
 	From   netsim.Address
 	Method string
 	Body   []byte
+	Trace  wire.TraceContext
 }
 
 // Handler services an invocation. Returning an error sends a RemoteError to
@@ -126,13 +134,26 @@ func WithChannel(opts ...channel.Option) Option {
 	return func(e *Endpoint) { e.chOpts = append(e.chOpts, opts...) }
 }
 
+// WithTelemetry attaches the deployment telemetry plane: traced calls
+// record client spans (each retry attempt becomes its own child span),
+// served requests record server spans, and the trace context propagates
+// through the wire envelope on requests, replies and announcements.
+func WithTelemetry(tel *observe.Telemetry) Option {
+	return func(e *Endpoint) {
+		if tel != nil {
+			e.tracer = tel.Tracer
+		}
+	}
+}
+
 // Endpoint binds RPC behaviour to a network node: it can both serve methods
 // and invoke remote ones. All traffic flows through the endpoint's channel
 // stack.
 type Endpoint struct {
-	ch    *channel.Stack
-	clock vclock.Clock
-	ids   *id.Generator
+	ch     *channel.Stack
+	clock  vclock.Clock
+	ids    *id.Generator
+	tracer *observe.Tracer
 
 	timeout      time.Duration
 	interceptors []Interceptor
@@ -154,6 +175,7 @@ type Endpoint struct {
 type pendingCall struct {
 	done  func(Result)
 	timer vclock.Timer
+	span  observe.ActiveSpan // the attempt's client span, if traced
 }
 
 // NewEndpoint attaches an endpoint to the node by building a channel stack
@@ -266,6 +288,7 @@ func (e *Endpoint) Close() {
 	e.mu.Unlock()
 	for _, pc := range pending {
 		pc.timer.Stop()
+		pc.span.EndStatus("closed")
 		pc.done(Result{Err: ErrTimeout})
 	}
 }
@@ -278,7 +301,8 @@ type callSettings struct {
 	retries int
 	backoff []time.Duration
 	onRetry func(attempt int)
-	tries   int // attempts already made
+	tries   int               // attempts already made
+	trace   wire.TraceContext // parent context for the call's spans
 }
 
 // CallTimeout overrides the endpoint default timeout for one call.
@@ -311,6 +335,15 @@ func CallOnRetry(fn func(attempt int)) CallOption {
 	return func(s *callSettings) { s.onRetry = fn }
 }
 
+// CallTrace links the call into a trace: the request envelope carries a
+// context parented under tc, and — when the endpoint has a tracer —
+// each attempt (the first and every retry) records its own client span.
+// A zero tc is a no-op, so callers can pass their request's Trace field
+// unconditionally.
+func CallTrace(tc wire.TraceContext) CallOption {
+	return func(s *callSettings) { s.trace = tc }
+}
+
 // Go invokes method on the remote address asynchronously; done is called
 // exactly once with the outcome. Safe to call from within handlers.
 func (e *Endpoint) Go(to netsim.Address, method string, body []byte, done func(Result), opts ...CallOption) {
@@ -322,15 +355,30 @@ func (e *Endpoint) Go(to netsim.Address, method string, body []byte, done func(R
 }
 
 func (e *Endpoint) attempt(to netsim.Address, method string, body []byte, done func(Result), s callSettings) {
+	// Each attempt — the first and every retry — records its own client
+	// span under the caller's context, so a trace shows the retry
+	// schedule, not just the surviving attempt.
+	var span observe.ActiveSpan
+	callCtx := s.trace
+	if !s.trace.IsZero() && e.tracer.On() {
+		span = e.tracer.StartChild("rpc.call:"+method, string(e.Addr()), s.trace)
+		span.SetAttr("peer", string(to))
+		if s.tries > 0 {
+			span.SetAttr("attempt", strconv.Itoa(s.tries+1))
+		}
+		callCtx = span.Context()
+	}
+
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		span.EndStatus("closed")
 		done(Result{Err: ErrTimeout})
 		return
 	}
 	corr := e.ids.Next("call")
 	e.stats.CallsSent++
-	pc := &pendingCall{done: done}
+	pc := &pendingCall{done: done, span: span}
 	pc.timer = e.clock.AfterFunc(s.timeout, func() {
 		e.expire(corr, to, method, body, done, s)
 	})
@@ -339,12 +387,14 @@ func (e *Endpoint) attempt(to netsim.Address, method string, body []byte, done f
 
 	env := wire.NewEnvelope(kindRequest, corr, body)
 	env.SetHeader("method", method)
+	env.Trace = callCtx
 	if err := e.ch.Send(to, env); err != nil {
 		pc, ok := e.takePending(corr)
 		if !ok {
 			return
 		}
 		pc.timer.Stop()
+		pc.span.EndStatus("senderr")
 		// A transient local failure (node down, interceptor veto) consumes
 		// the same retry budget as a timeout: the condition may clear
 		// before the schedule runs out. A deterministic one (the envelope
@@ -381,9 +431,11 @@ func (e *Endpoint) takePending(corr string) (*pendingCall, bool) {
 
 // expire handles a call timeout, retrying if budget remains.
 func (e *Endpoint) expire(corr string, to netsim.Address, method string, body []byte, done func(Result), s callSettings) {
-	if _, ok := e.takePending(corr); !ok {
+	pc, ok := e.takePending(corr)
+	if !ok {
 		return // reply won the race
 	}
+	pc.span.EndStatus("timeout")
 	e.mu.Lock()
 	e.stats.Timeouts++
 	e.mu.Unlock()
@@ -433,6 +485,11 @@ func (e *Endpoint) complete(corr string, r Result) {
 		e.mu.Unlock()
 	}
 	pc.timer.Stop()
+	if r.Err != nil {
+		pc.span.EndStatus("error")
+	} else {
+		pc.span.End()
+	}
 	pc.done(r)
 }
 
@@ -445,10 +502,25 @@ func (e *Endpoint) Call(to netsim.Address, method string, body []byte, opts ...C
 	return r.Body, r.Err
 }
 
-// Announce sends a one-way invocation: no reply, no timeout, no outcome.
-func (e *Endpoint) Announce(to netsim.Address, method string, body []byte) error {
+// Announce sends a one-way invocation: no reply, no timeout, no
+// outcome. CallTrace is the only option that applies; it links the
+// announcement into a trace with an instantaneous span.
+func (e *Endpoint) Announce(to netsim.Address, method string, body []byte, opts ...CallOption) error {
+	var s callSettings
+	for _, opt := range opts {
+		opt(&s)
+	}
 	env := wire.NewEnvelope(kindAnnounce, "", body)
 	env.SetHeader("method", method)
+	if !s.trace.IsZero() {
+		env.Trace = s.trace
+		if e.tracer.On() {
+			sp := e.tracer.StartChild("rpc.ann:"+method, string(e.Addr()), s.trace)
+			sp.SetAttr("peer", string(to))
+			env.Trace = sp.Context()
+			defer sp.End()
+		}
+	}
 	e.mu.Lock()
 	e.stats.Announcements++
 	e.mu.Unlock()
@@ -456,12 +528,12 @@ func (e *Endpoint) Announce(to netsim.Address, method string, body []byte) error
 }
 
 // AnnounceJSON sends a one-way invocation with a JSON-encoded body.
-func (e *Endpoint) AnnounceJSON(to netsim.Address, method string, v any) error {
+func (e *Endpoint) AnnounceJSON(to netsim.Address, method string, v any, opts ...CallOption) error {
 	body, err := wire.EncodeBody(v)
 	if err != nil {
 		return err
 	}
-	return e.Announce(to, method, body)
+	return e.Announce(to, method, body, opts...)
 }
 
 // onEnvelope dispatches envelopes delivered by the channel stack.
@@ -486,8 +558,20 @@ func (e *Endpoint) serve(from netsim.Address, env *wire.Envelope, reply bool) {
 	e.stats.CallsServed++
 	e.mu.Unlock()
 
-	req := Request{From: from, Method: method, Body: env.Body}
+	req := Request{From: from, Method: method, Body: env.Body, Trace: env.Trace}
+	var ssp observe.ActiveSpan
+	if !env.Trace.IsZero() && e.tracer.On() {
+		ssp = e.tracer.StartChild("rpc.serve:"+method, string(e.Addr()), env.Trace)
+		ssp.SetAttr("peer", string(from))
+		// Continuations inside the handler parent under the serve span.
+		req.Trace = ssp.Context()
+	}
 	sendReply := func(body []byte, herr error) {
+		status := ""
+		if herr != nil {
+			status = "error"
+		}
+		ssp.EndStatus(status)
 		if !reply {
 			return
 		}
@@ -496,6 +580,9 @@ func (e *Endpoint) serve(from netsim.Address, env *wire.Envelope, reply bool) {
 		if herr != nil {
 			rep.SetHeader("error", herr.Error())
 		}
+		// The reply carries the serve span's context so the returning
+		// frame stays inside the trace.
+		rep.Trace = req.Trace
 		// Best effort: if the reply cannot be sent the caller times out.
 		_ = e.ch.Send(from, rep)
 	}
@@ -506,6 +593,11 @@ func (e *Endpoint) serve(from netsim.Address, env *wire.Envelope, reply bool) {
 		// not meaningful here; async handlers receive the raw request and
 		// own the reply.
 		ah(req, sendReply)
+		if !reply {
+			// Announcements never call sendReply; close the serve span at
+			// the dispatch boundary.
+			ssp.End()
+		}
 	case ok:
 		wrapped := h
 		for i := len(interceptors) - 1; i >= 0; i-- {
@@ -567,6 +659,25 @@ func HandleJSON[Req any, Resp any](f func(from netsim.Address, req Req) (Resp, e
 			}
 		}
 		resp, err := f(r.From, req)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeBody(resp)
+	}
+}
+
+// HandleJSONCtx is HandleJSON for handlers that continue the request's
+// trace — the handler receives the live trace context alongside the
+// decoded request, for tagging objects and parenting downstream spans.
+func HandleJSONCtx[Req any, Resp any](f func(from netsim.Address, tc wire.TraceContext, req Req) (Resp, error)) Handler {
+	return func(r Request) ([]byte, error) {
+		var req Req
+		if len(r.Body) > 0 {
+			if err := wire.DecodeBody(r.Body, &req); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := f(r.From, r.Trace, req)
 		if err != nil {
 			return nil, err
 		}

@@ -29,8 +29,21 @@ import (
 	"sync"
 )
 
-// Version is the current envelope format version.
+// Version is the base envelope format version. Envelopes that carry no
+// trace context marshal as this version, byte-identical to every build
+// before trace support existed.
 const Version = 1
+
+// TracedVersion is the envelope version that appends a fixed 24-byte
+// trace block (trace id, span id, parent span id) after the body. An
+// envelope marshals as TracedVersion exactly when its Trace field is
+// set, so deployments with telemetry disabled emit version-1 bytes and
+// old decoders never see a version they cannot parse unless a trace is
+// actually present.
+const TracedVersion = 2
+
+// traceBlockLen is the encoded size of the trace block: three uint64s.
+const traceBlockLen = 24
 
 const magic uint16 = 0x0D9
 
@@ -48,6 +61,25 @@ const (
 // the way back.
 const MaxStringLen = maxStringLen
 
+// TraceContext is the causal-tracing context an envelope can carry
+// across a hop: which trace the frame belongs to, the span covering
+// this hop, and that span's parent. A zero TraceContext means the frame
+// is untraced.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64
+}
+
+// IsZero reports whether the context carries no trace.
+func (tc TraceContext) IsZero() bool { return tc == TraceContext{} }
+
+// Child returns a context for a new span under this one: same trace,
+// the given span id, parented to this context's span.
+func (tc TraceContext) Child(spanID uint64) TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: spanID, Parent: tc.SpanID}
+}
+
 // Envelope is the unit framed onto the simulated network.
 type Envelope struct {
 	Version byte
@@ -55,6 +87,7 @@ type Envelope struct {
 	Corr    string
 	Headers map[string]string
 	Body    []byte
+	Trace   TraceContext
 }
 
 // Errors returned by Unmarshal.
@@ -114,9 +147,21 @@ func AppendMarshal(dst []byte, e *Envelope) ([]byte, error) {
 	if len(e.Headers) >= maxHeaders {
 		return nil, fmt.Errorf("%w: %d headers", ErrOversize, len(e.Headers))
 	}
+	version := e.Version
+	if version == 0 {
+		version = Version
+	}
+	if !e.Trace.IsZero() && version < TracedVersion {
+		version = TracedVersion
+	}
+	traced := version >= TracedVersion
+
 	keysp := keyScratch.Get().(*[]string)
 	keys := (*keysp)[:0]
 	size := 2 + 1 + 4 + len(e.Kind) + 4 + len(e.Corr) + 2 + 4 + len(e.Body)
+	if traced {
+		size += traceBlockLen
+	}
 	for k, v := range e.Headers {
 		if len(k) >= maxStringLen || len(v) >= maxStringLen {
 			keyScratch.Put(keysp)
@@ -134,10 +179,6 @@ func AppendMarshal(dst []byte, e *Envelope) ([]byte, error) {
 	}
 	buf := dst
 	buf = binary.BigEndian.AppendUint16(buf, magic)
-	version := e.Version
-	if version == 0 {
-		version = Version
-	}
 	buf = append(buf, version)
 	buf = appendStr(buf, e.Kind)
 	buf = appendStr(buf, e.Corr)
@@ -148,6 +189,11 @@ func AppendMarshal(dst []byte, e *Envelope) ([]byte, error) {
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Body)))
 	buf = append(buf, e.Body...)
+	if traced {
+		buf = binary.BigEndian.AppendUint64(buf, e.Trace.TraceID)
+		buf = binary.BigEndian.AppendUint64(buf, e.Trace.SpanID)
+		buf = binary.BigEndian.AppendUint64(buf, e.Trace.Parent)
+	}
 
 	*keysp = keys
 	keyScratch.Put(keysp)
@@ -176,7 +222,7 @@ func Unmarshal(data []byte) (*Envelope, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver == 0 || ver > Version {
+	if ver == 0 || ver > TracedVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
 	}
 	e := &Envelope{Version: ver}
@@ -214,6 +260,17 @@ func Unmarshal(data []byte) (*Envelope, error) {
 	if len(body) > 0 {
 		e.Body = body
 	}
+	if ver >= TracedVersion {
+		if e.Trace.TraceID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if e.Trace.SpanID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if e.Trace.Parent, err = r.u64(); err != nil {
+			return nil, err
+		}
+	}
 	if r.pos != len(r.data) {
 		return nil, fmt.Errorf("wire: %d trailing bytes", len(r.data)-r.pos)
 	}
@@ -240,6 +297,15 @@ func (r *reader) u16() (uint16, error) {
 	}
 	v := binary.BigEndian.Uint16(r.data[r.pos:])
 	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.pos+8 > len(r.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
 	return v, nil
 }
 

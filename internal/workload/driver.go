@@ -17,6 +17,7 @@ import (
 	"mocca/internal/information"
 	"mocca/internal/mhs"
 	"mocca/internal/netsim"
+	"mocca/internal/observe"
 	"mocca/internal/rpc"
 	"mocca/internal/rtc"
 	"mocca/internal/trader"
@@ -96,9 +97,27 @@ type Harness struct {
 
 // Run executes the scenario and returns its report.
 func Run(spec Spec) (*Report, error) {
+	rep, _, err := run(spec)
+	return rep, err
+}
+
+// RunTrace executes the scenario with telemetry forced on and also
+// returns the deployment's telemetry plane, so callers (moccaload's
+// -trace/-metrics flags) can export the span timeline and the metric
+// families after the run.
+func RunTrace(spec Spec) (*Report, *observe.Telemetry, error) {
+	spec.Telemetry = true
+	rep, h, err := run(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, h.dep.Telemetry(), nil
+}
+
+func run(spec Spec) (*Report, *Harness, error) {
 	spec, err := spec.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	h := &Harness{
 		spec:        spec,
@@ -116,16 +135,16 @@ func Run(spec Spec) (*Report, error) {
 		h.stats[c] = &ClassStats{Hist: &Histogram{}}
 	}
 	if err := h.build(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := h.seedObjects(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Drain the seeding wave so traffic starts from a converged baseline:
 	// visibility latencies then measure the run's own writes, not the
 	// initial bulk load.
 	if !h.advanceUntilConverged(h.spec.ConvergeTimeout) {
-		return nil, errors.New("workload: seed data did not converge before traffic start")
+		return nil, nil, errors.New("workload: seed data did not converge before traffic start")
 	}
 
 	h.start = h.clock.Now()
@@ -139,7 +158,7 @@ func Run(spec Spec) (*Report, error) {
 	// redelivered to). Mail never touches the information space, so the
 	// convergence verdict stands.
 	h.clock.Advance(mailDrainGrace)
-	return h.report(converged), nil
+	return h.report(converged), h, nil
 }
 
 // mailDrainGrace is simulated, not wall-clock, time: one minute covers
@@ -155,6 +174,9 @@ func (h *Harness) build() error {
 	}
 	if h.spec.Topology == "gossip" {
 		opts = append(opts, mocca.WithGossip())
+	}
+	if h.spec.Telemetry {
+		opts = append(opts, mocca.WithTelemetry())
 	}
 	if h.spec.StoreDir != "" {
 		opts = append(opts, mocca.WithDurableStore(h.spec.StoreDir))

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"mocca/internal/observe"
 )
 
 // servicePrefixes are the Fabric address prefixes the report slices
@@ -43,6 +45,19 @@ type Report struct {
 	PendingMail   int    `json:"pendingMail"`
 
 	FaultLog []string `json:"faultLog"`
+
+	// Telemetry is present only for runs with Spec.Telemetry: the final
+	// metrics snapshot (deterministically ordered by the registry) and
+	// the trace counts. Both are pure functions of the spec, so the
+	// fingerprint stays byte-reproducible with telemetry enabled; runs
+	// without telemetry omit the section and keep their old fingerprints.
+	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
+}
+
+// TelemetryReport is the run's observability outcome.
+type TelemetryReport struct {
+	Traces  observe.TraceCounts `json:"traces"`
+	Metrics []observe.Point     `json:"metrics"`
 }
 
 func (h *Harness) report(converged bool) *Report {
@@ -75,6 +90,12 @@ func (h *Harness) report(converged bool) *Report {
 		r.Objects = sp.Len()
 		r.MerkleRoot = fmt.Sprintf("%016x", sp.Tree().Root())
 		r.Digest = h.commonDigest()
+	}
+	if tel := h.dep.Telemetry(); tel != nil {
+		r.Telemetry = &TelemetryReport{
+			Traces:  tel.Tracer.Counts(),
+			Metrics: h.dep.Metrics().Snapshot().Points,
+		}
 	}
 	return r
 }

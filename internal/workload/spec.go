@@ -118,6 +118,12 @@ type Spec struct {
 
 	// Topology is "mesh" (default) or "gossip" (WithGossip overlay).
 	Topology string `json:"topology"`
+	// Telemetry turns on the deployment's tracing + metrics plane for
+	// the run. The report then carries the metrics snapshot and trace
+	// counts (Report.Telemetry); both are pure functions of the spec, so
+	// fingerprints stay byte-reproducible — but differ from the same
+	// spec run without telemetry, which omits the section entirely.
+	Telemetry bool `json:"telemetry,omitempty"`
 	// StoreDir, when non-empty, backs every site with a durable logstore
 	// under StoreDir/<site> — required for torn-WAL faults.
 	StoreDir     string        `json:"storeDir,omitempty"`

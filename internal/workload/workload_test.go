@@ -98,6 +98,61 @@ func TestWorkloadDeterminism(t *testing.T) {
 	}
 }
 
+// TestWorkloadTelemetryFingerprint: a telemetry run carries the metrics
+// snapshot and trace counts in its report, and stays as reproducible as
+// an untraced one — same spec, same fingerprint, byte for byte. And a
+// run without telemetry must not grow the section at all, so its
+// fingerprints are unchanged from before the telemetry plane existed.
+func TestWorkloadTelemetryFingerprint(t *testing.T) {
+	spec := smokeSpec(31)
+	spec.Telemetry = true
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Telemetry == nil {
+		t.Fatal("telemetry run produced no Report.Telemetry section")
+	}
+	if a.Telemetry.Traces.Spans == 0 || a.Telemetry.Traces.Traces == 0 {
+		t.Fatalf("no spans traced: %+v", a.Telemetry.Traces)
+	}
+	if len(a.Telemetry.Metrics) == 0 {
+		t.Fatal("no metric points in the report")
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("telemetry broke reproducibility:\n%s\n---\n%s", a.Summary(), b.Summary())
+	}
+
+	// RunTrace forces telemetry on and hands back the live plane.
+	plain := smokeSpec(31)
+	rep, tel, err := RunTrace(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel == nil || rep.Telemetry == nil {
+		t.Fatal("RunTrace returned no telemetry")
+	}
+	if rep.Fingerprint() != a.Fingerprint() {
+		t.Fatal("RunTrace(spec) differs from Run(spec with Telemetry)")
+	}
+	if len(tel.Tracer.Spans()) == 0 {
+		t.Fatal("RunTrace telemetry retained no spans")
+	}
+
+	// Without the flag the section must be absent from the JSON entirely.
+	off, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Telemetry != nil {
+		t.Fatal("untraced run grew a telemetry section")
+	}
+}
+
 // TestWorkloadGossipTopology runs the same smoke scenario over the
 // epidemic overlay instead of the full mesh.
 func TestWorkloadGossipTopology(t *testing.T) {

@@ -39,6 +39,7 @@ import (
 	"mocca/internal/information/logstore"
 	"mocca/internal/mhs"
 	"mocca/internal/netsim"
+	"mocca/internal/observe"
 	"mocca/internal/placement"
 	"mocca/internal/replica"
 	"mocca/internal/rpc"
@@ -166,6 +167,9 @@ type Deployment struct {
 	fullDigest bool
 	gossip     bool
 	gossipOpts []gossip.Option
+	telemetry  bool
+	telOpts    []observe.Option
+	tel        *observe.Telemetry
 
 	clock  *vclock.Simulated
 	net    *netsim.Network
@@ -218,12 +222,18 @@ func NewDeployment(opts ...Option) *Deployment {
 		opt(d)
 	}
 	d.clock = vclock.NewSimulated(netsim.DefaultEpoch)
+	if d.telemetry {
+		d.tel = observe.New(d.seed, d.clock.Now, d.telOpts...)
+	}
 	d.net = netsim.New(
 		netsim.WithClock(d.clock),
 		netsim.WithSeed(d.seed),
 		netsim.WithDefaultLink(d.link),
 	)
 	d.ids = id.NewSeeded(d.seed)
+	if d.tel != nil {
+		d.registerCollectors()
+	}
 	envOpts := []core.Option{core.WithIDs(d.ids)}
 	if d.backendFor != nil {
 		envOpts = append(envOpts, core.WithSiteBackend(d.openBackend))
@@ -293,9 +303,16 @@ func (d *Deployment) endpointAt(addr netsim.Address) *rpc.Endpoint {
 // endpointOver is the one place deployment endpoints are wired, so every
 // endpoint — first boot or restart — gets identical options.
 func (d *Deployment) endpointOver(node *netsim.Node) *rpc.Endpoint {
-	return rpc.NewEndpoint(node, d.clock,
-		rpc.WithIDs(d.ids),
-		rpc.WithChannel(channel.WithObserver(d.fabric)))
+	chOpts := []channel.Option{channel.WithObserver(d.fabric)}
+	opts := []rpc.Option{rpc.WithIDs(d.ids)}
+	if d.tel != nil {
+		opts = append(opts, rpc.WithTelemetry(d.tel))
+		chOpts = append(chOpts,
+			channel.WithTelemetry(d.tel),
+			channel.WithNamedInterceptor("trace", channel.TracingInterceptor(d.tel.Tracer)))
+	}
+	opts = append(opts, rpc.WithChannel(chOpts...))
+	return rpc.NewEndpoint(node, d.clock, opts...)
 }
 
 // openBackend runs the configured backend factory for a site, tracking
@@ -305,6 +322,11 @@ func (d *Deployment) openBackend(site string) information.Backend {
 	b, err := d.backendFor(site)
 	if err != nil {
 		panic(fmt.Sprintf("mocca: open information backend for site %q: %v", site, err))
+	}
+	if st, ok := b.(interface {
+		SetTelemetry(*observe.Telemetry, string)
+	}); ok && d.tel != nil {
+		st.SetTelemetry(d.tel, site)
 	}
 	d.backends[site] = b
 	return b
@@ -356,10 +378,12 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 	site.readEP = d.newEndpoint(site.readAddr())
 	site.reader = placement.NewReader(site.readEP, d.env.Trader(), name,
 		placement.WithNegativeCache(d.env.Placement()),
-		placement.WithNegativeTTL(placement.DefaultNegativeTTL, d.clock.Now))
+		placement.WithNegativeTTL(placement.DefaultNegativeTTL, d.clock.Now),
+		placement.WithReaderTelemetry(d.tel))
 	site.readServer = placement.NewReadServer(site.readEP, name,
 		func() *information.Space { return site.env.Space() },
-		placement.WithHolderPolicy(d.env.Placement()))
+		placement.WithHolderPolicy(d.env.Placement()),
+		placement.WithServerTelemetry(d.tel))
 	d.wireSiteSpace(site)
 	for _, other := range d.sites {
 		mta.AddRoute(other.Domain, other.mta.Addr())
@@ -393,6 +417,7 @@ func (d *Deployment) AddSite(name, domain string) *Site {
 func (d *Deployment) wireSiteGossip(s *Site) {
 	opts := []gossip.Option{
 		gossip.WithSeed(d.seed),
+		gossip.WithTelemetry(d.tel),
 		gossip.WithContacts(d.gossipContacts),
 		gossip.WithBias(d.gossipBias(s.Name)),
 		gossip.WithOnChange(func(added, removed []gossip.Peer) {
@@ -517,6 +542,9 @@ func (d *Deployment) replicaOptions() []replica.Option {
 	if d.fullDigest {
 		opts = append(opts, replica.WithFullDigest())
 	}
+	if d.tel != nil {
+		opts = append(opts, replica.WithTelemetry(d.tel))
+	}
 	return opts
 }
 
@@ -540,6 +568,15 @@ func (d *Deployment) wireSiteSpace(s *Site) {
 		}
 		if ev.Kind != "put" && ev.Kind != "update" || ev.Object == nil {
 			return
+		}
+		if d.tel.On() {
+			// Each local write roots a trace and tags the object id, so
+			// every downstream hop — rumor publish, placement forward,
+			// WAL commit, anti-entropy apply elsewhere — parents under it.
+			root := d.tel.Tracer.StartRoot("write:"+ev.Kind, s.Name)
+			root.SetAttr("object", ev.Object.ID)
+			d.tel.Objects.Tag(ev.Object.ID, root.Context())
+			root.End()
 		}
 		if s.overlay != nil && !s.crashed {
 			// Gossip mode: race the fresh write ahead of anti-entropy as a
