@@ -1,0 +1,62 @@
+// moccalint is the project's static-analysis multichecker: five
+// analyzers that mechanically enforce invariants this codebase has
+// already paid to learn (see internal/analysis). Run it from the module
+// root:
+//
+//	go run ./cmd/moccalint ./...
+//
+// Findings print as file:line:col: analyzer: message and make the run
+// exit nonzero. A finding can be suppressed — one at a time, with a
+// written justification — by a pragma on the flagged line or the line
+// above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Stale pragmas (unknown analyzer, missing reason, or suppressing
+// nothing) are themselves findings, so allowances cannot outlive the
+// code they excused.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mocca/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: moccalint [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(".", patterns, analysis.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moccalint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "moccalint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,141 @@
+// Package analysis is moccalint's static-analysis framework: a small,
+// dependency-free re-statement of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus the project-specific
+// suite that mechanically enforces invariants this codebase has already
+// paid to learn the hard way:
+//
+//   - determinism: every run must be byte-reproducible from its seed, so
+//     wall-clock reads, global math/rand and unordered map iteration on
+//     fingerprint/digest/wire paths are violations;
+//   - lockorder: the PR 6 Compact deadlock — a cycle in the
+//     mutex-acquisition order, or dropping and retaking a lock while a
+//     second is held — must not come back;
+//   - statsnapshot: exported Stats()/snapshot methods must read their
+//     counters under one lock or via atomics (the torn-read pattern PR 9
+//     audited by hand);
+//   - goroutines: simulated-clock packages stay zero-goroutine so the
+//     deployment driver remains the only scheduler;
+//   - errdrop: WAL/segment/wire append-read paths must not discard
+//     errors — a swallowed error there is silent row loss.
+//
+// Findings can be suppressed, one at a time and with a written
+// justification, by a pragma on the flagged line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The pragma driver itself is checked: pragmas naming an unknown
+// analyzer, lacking a reason, or suppressing nothing are flagged as
+// stale so suppressions cannot outlive the code they excused.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run inspects a fully
+// type-checked package through the Pass and reports findings via
+// Pass.Report/Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow pragmas.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  msg,
+	})
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// Suite returns the moccalint analyzers in their canonical order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		LockOrder,
+		StatSnapshot,
+		Goroutines,
+		ErrDrop,
+	}
+}
+
+// RunPackage applies each analyzer to pkg and returns the raw findings
+// (pragma suppression not yet applied — see ApplyPragmas).
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// Run loads the packages matched by patterns (relative to dir), applies
+// the analyzers and the pragma driver, and returns the surviving
+// findings sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags := RunPackage(pkg, analyzers)
+		diags = ApplyPragmas(pkg, diags, analyzers)
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}

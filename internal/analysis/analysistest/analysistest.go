@@ -1,0 +1,117 @@
+// Package analysistest runs moccalint analyzers over golden fixtures:
+// directories of Go files annotated with // want "regexp" comments on
+// the lines a finding must land on. It is this repo's dependency-free
+// restatement of golang.org/x/tools/go/analysis/analysistest.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mocca/internal/analysis"
+)
+
+// want is one expected finding.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package in dir, applies the analyzers (without
+// pragma filtering), and checks the findings against the fixture's
+// // want comments: every finding must match a want on its line, every
+// want must be matched by a finding.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	runFixture(t, dir, false, analyzers...)
+}
+
+// RunWithPragmas is Run with the //lint:allow pragma driver applied, so
+// fixtures can assert suppression and stale-pragma behaviour.
+func RunWithPragmas(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	runFixture(t, dir, true, analyzers...)
+}
+
+func runFixture(t *testing.T, dir string, pragmas bool, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+	diags := analysis.RunPackage(pkg, analyzers)
+	if pragmas {
+		diags = analysis.ApplyPragmas(pkg, diags, analyzers)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts // want "re" ["re" ...] annotations.
+func parseWants(pkg *analysis.Package) ([]*want, error) {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				for rest != "" {
+					if rest[0] != '"' {
+						return nil, fmt.Errorf("%s: malformed want: %q", pos, c.Text)
+					}
+					end := 1
+					for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+						end++
+					}
+					if end >= len(rest) {
+						return nil, fmt.Errorf("%s: unterminated want pattern: %q", pos, c.Text)
+					}
+					quoted := rest[:end+1]
+					rest = strings.TrimSpace(rest[end+1:])
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, quoted, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// Determinism enforces the byte-reproducibility contract: a run is a
+// pure function of its seed. It flags
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) and
+//     wall-clock scheduling (time.Sleep/After/Tick/NewTimer/NewTicker/
+//     AfterFunc) — simulated-clock code must take its time from
+//     vclock.Clock;
+//   - the global math/rand (and math/rand/v2) functions, which draw
+//     from a process-wide source — randomness must flow from a seeded
+//     *rand.Rand;
+//   - any use of crypto/rand, which is nondeterministic by design;
+//   - map iteration inside functions reachable from fingerprint /
+//     digest / marshal / encode / hash paths, unless the loop body is
+//     pure collection (append/len/counting through builtins only) —
+//     Go's map order is randomized per run, so feeding it directly
+//     into bytes or hashes breaks byte-reproducibility.
+//
+// package main is exempt: daemons and demo binaries live on the wall
+// clock on purpose. The library packages they drive do not.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall-clock, global-rand, and unordered map iteration on digest paths",
+	Run:  runDeterminism,
+}
+
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// allowedRandFuncs construct seeded sources and are the *only* sanctioned
+// doorway into math/rand.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// digestRootRE marks functions whose output feeds fingerprints, wire
+// bytes, or digests; map iteration anywhere reachable from them is
+// order-sensitive until proven otherwise.
+var digestRootRE = regexp.MustCompile(`(?i)fingerprint|digest|marshal|encode|hash|checksum`)
+
+func runDeterminism(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	checkForbiddenUses(pass)
+	checkDigestMapRanges(pass)
+}
+
+// checkForbiddenUses flags every reference (call or function value) to
+// the wall clock and the global/crypto rand.
+func checkForbiddenUses(pass *Pass) {
+	type use struct {
+		id  *ast.Ident
+		msg string
+	}
+	var uses []use
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if obj.Pkg() == nil {
+			continue
+		}
+		switch obj.Pkg().Path() {
+		case "time":
+			if ok && fn.Signature().Recv() == nil && forbiddenTimeFuncs[fn.Name()] {
+				uses = append(uses, use{id, "time." + fn.Name() + " reads the wall clock; runs must be reproducible from their seed — use the deployment clock (vclock.Clock)"})
+			}
+		case "math/rand", "math/rand/v2":
+			if ok && fn.Signature().Recv() == nil && !allowedRandFuncs[fn.Name()] {
+				uses = append(uses, use{id, "global rand." + fn.Name() + " draws from the process-wide source; use a seeded *rand.Rand"})
+			}
+		case "crypto/rand":
+			uses = append(uses, use{id, "crypto/rand is nondeterministic by design; derive bytes from the run seed instead"})
+		}
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].id.Pos() < uses[j].id.Pos() })
+	for _, u := range uses {
+		pass.Report(u.id.Pos(), u.msg)
+	}
+}
+
+// checkDigestMapRanges flags order-sensitive map iteration in functions
+// reachable from digest/fingerprint/encoding roots.
+func checkDigestMapRanges(pass *Pass) {
+	order, decls := packageFuncs(pass)
+
+	roots := map[*types.Func]bool{}
+	wirePkg := pass.Pkg.Name() == "wire"
+	for _, fn := range order {
+		if digestRootRE.MatchString(fn.Name()) || (wirePkg && fn.Exported()) {
+			roots[fn] = true
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Intra-package reachability from the digest roots.
+	calls := map[*types.Func][]*types.Func{}
+	for _, fn := range order {
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(pass.Info, call); callee != nil {
+					if _, local := decls[callee]; local {
+						calls[fn] = append(calls[fn], callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, fn := range order {
+		if roots[fn] {
+			reachable[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range calls[fn] {
+			if !reachable[callee] {
+				reachable[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for _, fn := range order {
+		if !reachable[fn] {
+			continue
+		}
+		fnName := fn.Name()
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !orderSensitiveBody(pass.Info, rng.Body.List) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map iteration on digest path (%s is reachable from a fingerprint/digest/encode root); map order is randomized per run — collect and sort keys first", fnName)
+			return true
+		})
+	}
+}
+
+// orderSensitiveBody reports whether a map-range body does anything
+// whose effect depends on iteration order. Pure collection — appending
+// keys, counting, deleting, assignments through builtins only — is
+// order-insensitive (the standard collect-then-sort idiom). Any other
+// call on a path that falls through is order-sensitive. Branches that
+// terminate (error guards ending in return/panic) are exempt: they run
+// at most once.
+func orderSensitiveBody(info *types.Info, stmts []ast.Stmt) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			if exprHasNonBuiltinCall(info, s.Cond) {
+				return true
+			}
+			if !blockTerminates(s.Body.List) && orderSensitiveBody(info, s.Body.List) {
+				return true
+			}
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				if !blockTerminates(blk.List) && orderSensitiveBody(info, blk.List) {
+					return true
+				}
+			}
+		case *ast.RangeStmt:
+			if orderSensitiveBody(info, s.Body.List) {
+				return true
+			}
+		case *ast.ForStmt:
+			if orderSensitiveBody(info, s.Body.List) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if orderSensitiveBody(info, s.List) {
+				return true
+			}
+		case *ast.AssignStmt:
+			// Keyed writes (out[k] = clone(v)) are order-insensitive:
+			// each iteration lands in its own slot regardless of visit
+			// order. Anything else falls through to the call check.
+			if allIndexTargets(s) {
+				continue
+			}
+			if stmtHasNonBuiltinCall(info, stmt) {
+				return true
+			}
+		default:
+			if stmtHasNonBuiltinCall(info, stmt) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allIndexTargets reports whether every assignment target is an index
+// expression (m[k] = ..., never a plain variable or accumulator).
+func allIndexTargets(s *ast.AssignStmt) bool {
+	if s.Tok != token.ASSIGN {
+		return false
+	}
+	for _, lhs := range s.Lhs {
+		if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func blockTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return terminates(stmts[len(stmts)-1])
+}
+
+func stmtHasNonBuiltinCall(info *types.Info, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && exprIsNonBuiltinCall(info, e) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func exprHasNonBuiltinCall(info *types.Info, expr ast.Expr) bool {
+	return stmtHasNonBuiltinCall(info, &ast.ExprStmt{X: expr})
+}
+
+func exprIsNonBuiltinCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return false // conversion
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import "go/ast"
+
+// simulatedClockPackages are the packages whose entire behaviour must
+// unfold on the simulated clock: the deployment driver advances time
+// and drains the network, and nothing else schedules. A goroutine in
+// one of these packages gives the OS scheduler a vote in event order,
+// and byte-reproducible runs lose to it. (logstore's background merger
+// and the daemons' HTTP servers are outside this set on purpose — they
+// live in packages that own real concurrency.)
+var simulatedClockPackages = map[string]bool{
+	"replica":  true,
+	"gossip":   true,
+	"workload": true,
+	"observe":  true,
+	"rtc":      true,
+}
+
+// Goroutines preserves the zero-goroutine driver property of the
+// simulated-clock packages.
+var Goroutines = &Analyzer{
+	Name: "goroutines",
+	Doc:  "forbids goroutines in simulated-clock packages",
+	Run:  runGoroutines,
+}
+
+func runGoroutines(pass *Pass) {
+	if !simulatedClockPackages[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "goroutine spawned in simulated-clock package %s; the deployment driver must remain the only scheduler", pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+}

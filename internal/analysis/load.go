@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	ImportMap  map[string]string
+}
+
+// goList runs `go list -export -deps -json` for patterns in dir,
+// returning the target packages (the ones the patterns name) and the
+// export-data index for every package in the dependency closure. The
+// export files come out of the build cache, so imports resolve through
+// the same compiled artifacts `go build` would use — no source
+// re-type-checking of dependencies, and no network.
+func goList(dir string, patterns ...string) (targets []listPkg, exports map[string]string, err error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,ImportMap",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	exports = make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, nil, fmt.Errorf("go list %v: decoding output: %w", patterns, derr)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return targets, exports, nil
+}
+
+// exportImporter satisfies types.Importer by reading export data named
+// in the go list index, applying the package's vendor ImportMap first.
+func exportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load resolves patterns (./... style) against the module rooted at dir
+// and returns each matched package parsed and type-checked. Only
+// non-test GoFiles are analyzed: the invariants moccalint enforces are
+// production-path properties, and test files routinely (and harmlessly)
+// use wall clocks and goroutines.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, exports, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: exportImporter(fset, exports, t.ImportMap)}
+		info := newInfo()
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses every .go file in dir as one package and type-checks
+// it, resolving imports through the surrounding module's build cache.
+// This is the fixture loader: analyzer testdata lives outside the
+// module's package graph (under testdata/, which the go tool skips), so
+// it cannot be named by a go list pattern — but its imports (sync,
+// time, ...) still resolve through export data.
+func LoadDir(dir string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			importSet[path] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		imports := make([]string, 0, len(importSet))
+		for path := range importSet {
+			imports = append(imports, path)
+		}
+		sort.Strings(imports)
+		_, exports, err = goList(dir, imports...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	conf := types.Config{Importer: exportImporter(fset, exports, nil)}
+	info := newInfo()
+	pkgName := files[0].Name.Name
+	tpkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", dir, err)
+	}
+	return &Package{
+		ImportPath: pkgName,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a per-package mutex-acquisition graph and flags
+// (a) cycles in it — two call paths that take the same pair of locks in
+// opposite orders will, eventually, deadlock — and (b) drop-and-retake:
+// releasing a lock and re-acquiring it (directly or through a callee)
+// while a second lock is held. The latter is the exact shape of the
+// PR 6 Compact deadlock: compactLocked held the group-commit g.mu while
+// mergeAllLocked dropped and retook the store's s.mu, inverting the
+// documented s.mu-before-g.mu order against a writer blocked on g.mu.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags mutex-acquisition cycles and drop-and-retake under a second lock",
+	Run:  runLockOrder,
+}
+
+// lockSummary is what a function does to locks, transitively through
+// same-package callees.
+type lockSummary struct {
+	acquires map[lockID]bool
+	retakes  map[lockID]bool
+}
+
+func newLockSummary() *lockSummary {
+	return &lockSummary{acquires: map[lockID]bool{}, retakes: map[lockID]bool{}}
+}
+
+func (s *lockSummary) size() int { return len(s.acquires) + len(s.retakes) }
+
+// calleeFunc resolves the static callee of call, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// packageFuncs maps each function declared in the pass's files to its
+// declaration, in deterministic (source) order.
+func packageFuncs(pass *Pass) (order []*types.Func, decls map[*types.Func]*ast.FuncDecl) {
+	decls = map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			order = append(order, fn)
+			decls[fn] = decl
+		}
+	}
+	return order, decls
+}
+
+type lockEdge struct {
+	from, to lockID
+	pos      token.Pos
+}
+
+func runLockOrder(pass *Pass) {
+	order, decls := packageFuncs(pass)
+	summaries := map[*types.Func]*lockSummary{}
+	for _, fn := range order {
+		summaries[fn] = newLockSummary()
+	}
+
+	// Fixpoint over function summaries: which locks does each function
+	// acquire or drop-and-retake, transitively through local callees?
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			sum := newLockSummary()
+			w := &lockWalker{info: pass.Info, hooks: bodyHooks{
+				onAcquire: func(id lockID, pos token.Pos, st *lockState, retaken bool) {
+					sum.acquires[id] = true
+					if retaken {
+						sum.retakes[id] = true
+					}
+				},
+				onCall: func(call *ast.CallExpr, st *lockState) {
+					callee := calleeFunc(pass.Info, call)
+					if callee == nil {
+						return
+					}
+					csum, ok := summaries[callee]
+					if !ok {
+						return
+					}
+					for id := range csum.acquires {
+						sum.acquires[id] = true
+					}
+					for id := range csum.retakes {
+						sum.retakes[id] = true
+					}
+				},
+			}}
+			w.walkBody(decls[fn].Body)
+			if sum.size() != summaries[fn].size() {
+				summaries[fn] = sum
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass: collect acquisition-order edges and drop-and-
+	// retake candidates. A retake of R while H is held is only a
+	// deadlock when some other path acquires H while holding R — the
+	// retaking goroutine waits on R's holder, who waits on H. So
+	// candidates are held back and judged against the finished edge
+	// graph: retaking an *inner* lock under an outer one (Close
+	// re-entering g.mu under s.mu) is the documented safe direction and
+	// stays quiet; retaking an *outer* lock under an inner one
+	// (compactLocked's PR 6 bug) is flagged.
+	edges := map[lockID]map[lockID]token.Pos{}
+	addEdge := func(from, to lockID, pos token.Pos) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = map[lockID]token.Pos{}
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = pos
+		}
+	}
+	type retakeCand struct {
+		pos     token.Pos
+		retaken lockID
+		held    []lockID
+		via     string // callee name, or "" for a direct relock
+	}
+	var cands []retakeCand
+	for _, fn := range order {
+		w := &lockWalker{info: pass.Info, hooks: bodyHooks{
+			onAcquire: func(id lockID, pos token.Pos, st *lockState, retaken bool) {
+				for _, h := range st.held {
+					addEdge(h.id, id, pos)
+				}
+				if retaken {
+					if others := st.othersHeld(id); len(others) > 0 {
+						c := retakeCand{pos: pos, retaken: id}
+						for _, h := range others {
+							c.held = append(c.held, h.id)
+						}
+						cands = append(cands, c)
+					}
+				}
+			},
+			onCall: func(call *ast.CallExpr, st *lockState) {
+				if len(st.held) == 0 {
+					return
+				}
+				callee := calleeFunc(pass.Info, call)
+				if callee == nil {
+					return
+				}
+				csum, ok := summaries[callee]
+				if !ok {
+					return
+				}
+				var acquired []lockID
+				for id := range csum.acquires {
+					acquired = append(acquired, id)
+				}
+				sort.Slice(acquired, func(i, j int) bool { return acquired[i] < acquired[j] })
+				for _, id := range acquired {
+					for _, h := range st.held {
+						addEdge(h.id, id, call.Pos())
+					}
+				}
+				var retaken []lockID
+				for id := range csum.retakes {
+					retaken = append(retaken, id)
+				}
+				sort.Slice(retaken, func(i, j int) bool { return retaken[i] < retaken[j] })
+				for _, id := range retaken {
+					if others := st.othersHeld(id); len(others) > 0 {
+						c := retakeCand{pos: call.Pos(), retaken: id, via: callee.Name()}
+						for _, h := range others {
+							c.held = append(c.held, h.id)
+						}
+						cands = append(cands, c)
+					}
+				}
+			},
+		}}
+		w.walkBody(decls[fn].Body)
+	}
+
+	for _, c := range cands {
+		for _, h := range c.held {
+			if _, inverted := edges[c.retaken][h]; !inverted {
+				continue
+			}
+			if c.via != "" {
+				pass.Reportf(c.pos, "call to %s drops and retakes %s while %s is held, but %s is acquired under %s elsewhere — the PR 6 deadlock shape",
+					c.via, c.retaken, h, h, c.retaken)
+			} else {
+				pass.Reportf(c.pos, "lock %s dropped and retaken while %s is held, but %s is acquired under %s elsewhere — the PR 6 deadlock shape",
+					c.retaken, h, h, c.retaken)
+			}
+			break
+		}
+	}
+
+	reportLockCycles(pass, edges)
+}
+
+// reportLockCycles finds and reports each distinct cycle in the
+// acquisition graph once.
+func reportLockCycles(pass *Pass, edges map[lockID]map[lockID]token.Pos) {
+	nodes := make([]lockID, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	succs := func(n lockID) []lockID {
+		out := make([]lockID, 0, len(edges[n]))
+		for to := range edges[n] {
+			out = append(out, to)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	seen := map[string]bool{}
+	var path []lockID
+	onPath := map[lockID]bool{}
+	var visit func(n lockID)
+	visit = func(n lockID) {
+		path = append(path, n)
+		onPath[n] = true
+		for _, to := range succs(n) {
+			if onPath[to] {
+				// Back edge closes a cycle: path from `to`..n plus n->to.
+				start := 0
+				for i, p := range path {
+					if p == to {
+						start = i
+						break
+					}
+				}
+				cycle := append([]lockID(nil), path[start:]...)
+				key := canonicalCycle(cycle)
+				if !seen[key] {
+					seen[key] = true
+					reportCycle(pass, cycle, edges)
+				}
+				continue
+			}
+			visit(to)
+		}
+		onPath[n] = false
+		path = path[:len(path)-1]
+	}
+	for _, n := range nodes {
+		visit(n)
+	}
+}
+
+// canonicalCycle keys a cycle independent of starting node.
+func canonicalCycle(cycle []lockID) string {
+	min := 0
+	for i := range cycle {
+		if cycle[i] < cycle[min] {
+			min = i
+		}
+	}
+	parts := make([]string, 0, len(cycle))
+	for i := range cycle {
+		parts = append(parts, string(cycle[(min+i)%len(cycle)]))
+	}
+	return strings.Join(parts, "->")
+}
+
+func reportCycle(pass *Pass, cycle []lockID, edges map[lockID]map[lockID]token.Pos) {
+	var b strings.Builder
+	for _, n := range cycle {
+		fmt.Fprintf(&b, "%s -> ", n)
+	}
+	b.WriteString(string(cycle[0]))
+	var details []string
+	for i := range cycle {
+		from, to := cycle[i], cycle[(i+1)%len(cycle)]
+		pos := edges[from][to]
+		details = append(details, fmt.Sprintf("%s -> %s at %s", from, to, pass.Fset.Position(pos)))
+	}
+	pos := edges[cycle[len(cycle)-1]][cycle[0]]
+	pass.Reportf(pos, "mutex acquisition cycle: %s (%s)", b.String(), strings.Join(details, "; "))
+}

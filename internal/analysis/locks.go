@@ -1,0 +1,431 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockID names a mutex for ordering purposes: "Type.field" for a mutex
+// field reached through a struct ("Store.mu", "group.mu" — the type is
+// the one that declares the field, however deep the selector chain),
+// "Type" for a mutex embedded in a named type, and "var name" for a
+// bare local or package-level mutex variable.
+type lockID string
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opAcquire
+	opRelease
+)
+
+var lockMethods = map[string]lockOp{
+	"Lock":     opAcquire,
+	"RLock":    opAcquire,
+	"TryLock":  opAcquire,
+	"TryRLock": opAcquire,
+	"Unlock":   opRelease,
+	"RUnlock":  opRelease,
+}
+
+// classifyLock recognises sync.Mutex / sync.RWMutex method calls and
+// resolves the identity of the lock they act on.
+func classifyLock(info *types.Info, call *ast.CallExpr) (lockID, lockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	op, ok := lockMethods[sel.Sel.Name]
+	if !ok {
+		return "", opNone
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	return lockIdentity(info, sel.X), op
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func namedOf(t types.Type) *types.Named {
+	if n, ok := deref(t).(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// lockIdentity names the mutex denoted by expr (the receiver of a
+// Lock/Unlock call).
+func lockIdentity(info *types.Info, expr ast.Expr) lockID {
+	switch x := expr.(type) {
+	case *ast.SelectorExpr:
+		// parent.field — name the lock after the struct type that
+		// declares the field, so s.g.mu and g.mu are the same lock.
+		if tv, ok := info.Types[x.X]; ok {
+			if n := namedOf(tv.Type); n != nil {
+				return lockID(n.Obj().Name() + "." + x.Sel.Name)
+			}
+		}
+		return lockID(x.Sel.Name)
+	case *ast.Ident:
+		if tv, ok := info.Types[x]; ok {
+			if n := namedOf(tv.Type); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() != "sync" {
+				// x.Lock() through an embedded mutex: the named type is
+				// the lock.
+				return lockID(n.Obj().Name())
+			}
+		}
+		return lockID("var " + x.Name)
+	case *ast.ParenExpr:
+		return lockIdentity(info, x.X)
+	case *ast.StarExpr:
+		return lockIdentity(info, x.X)
+	}
+	return lockID("anon")
+}
+
+// heldLock is one entry in the walker's held-set.
+type heldLock struct {
+	id  lockID
+	pos token.Pos
+}
+
+// lockState is the walker's abstract state at one program point.
+type lockState struct {
+	held     []heldLock
+	released map[lockID]token.Pos
+}
+
+func newLockState() *lockState {
+	return &lockState{released: map[lockID]token.Pos{}}
+}
+
+func (st *lockState) clone() *lockState {
+	cp := &lockState{
+		held:     append([]heldLock(nil), st.held...),
+		released: make(map[lockID]token.Pos, len(st.released)),
+	}
+	for k, v := range st.released {
+		cp.released[k] = v
+	}
+	return cp
+}
+
+func (st *lockState) holds(id lockID) bool {
+	for _, h := range st.held {
+		if h.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *lockState) acquire(id lockID, pos token.Pos) {
+	st.held = append(st.held, heldLock{id: id, pos: pos})
+}
+
+func (st *lockState) release(id lockID, pos token.Pos) {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].id == id {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			break
+		}
+	}
+	st.released[id] = pos
+}
+
+// othersHeld returns the held locks excluding id.
+func (st *lockState) othersHeld(id lockID) []heldLock {
+	var out []heldLock
+	for _, h := range st.held {
+		if h.id != id {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// bodyHooks are the walker's callbacks. All are optional.
+type bodyHooks struct {
+	// onAcquire fires for each Lock/RLock with the locks already held
+	// and whether this lock was previously released in the same body (a
+	// drop-and-retake).
+	onAcquire func(id lockID, pos token.Pos, st *lockState, retaken bool)
+	// onCall fires for every non-lock call expression with the current
+	// held-set.
+	onCall func(call *ast.CallExpr, st *lockState)
+	// onNode fires for every expression node visited, in source order,
+	// with the current held-set.
+	onNode func(n ast.Node, st *lockState)
+}
+
+// lockWalker performs an abstract, source-order walk of a function
+// body, tracking which locks are held. Branches that terminate
+// (return/panic/goto) do not leak their lock-state into the
+// continuation; branches that fall through merge conservatively (a lock
+// counts as held only if every surviving path holds it). Deferred
+// unlocks keep their lock held to the end of the body — which is what
+// they mean. Function literals are walked with a fresh state: their
+// bodies run at another time (goroutine, callback), not under the
+// current held-set.
+type lockWalker struct {
+	info  *types.Info
+	hooks bodyHooks
+}
+
+func (w *lockWalker) walkBody(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	w.walkStmts(body.List, newLockState())
+}
+
+// terminates reports whether stmt unconditionally leaves the enclosing
+// block.
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkStmts processes stmts in order against st, returning whether the
+// sequence unconditionally terminates.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, st *lockState) bool {
+	for _, stmt := range stmts {
+		if w.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, st *lockState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, op := classifyLock(w.info, call); op != opNone {
+				w.applyLock(id, op, call.Pos(), st)
+				return false
+			}
+		}
+		w.visitExpr(s.X, st)
+		return terminates(stmt)
+	case *ast.DeferStmt:
+		if id, op := classifyLock(w.info, s.Call); op != opNone {
+			// A deferred Unlock holds the lock for the rest of the
+			// body; a deferred Lock is nonsense we leave to vet.
+			_ = id
+			return false
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// defer func() { ...; mu.Unlock() }(): same contract as a
+			// plain deferred unlock — the lock stays held to the end.
+			w.walkFreshLit(lit)
+			return false
+		}
+		w.visitExpr(s.Call, st)
+		return false
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.visitExpr(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			w.visitExpr(lhs, st)
+		}
+		return false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.visitNode(stmt, st)
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.visitExpr(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.visitExpr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := w.walkStmts(s.Body.List, thenSt)
+		var surviving []*lockState
+		if !thenTerm {
+			surviving = append(surviving, thenSt)
+		}
+		switch {
+		case s.Else == nil:
+			surviving = append(surviving, st.clone())
+		default:
+			elseSt := st.clone()
+			var elseTerm bool
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				elseTerm = w.walkStmts(blk.List, elseSt)
+			} else {
+				elseTerm = w.walkStmt(s.Else, elseSt)
+			}
+			if !elseTerm {
+				surviving = append(surviving, elseSt)
+			}
+		}
+		if len(surviving) == 0 {
+			return true
+		}
+		mergeInto(st, surviving)
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.visitExpr(s.Cond, st)
+		}
+		w.walkStmts(s.Body.List, st.clone())
+		return false
+	case *ast.RangeStmt:
+		w.visitExpr(s.X, st)
+		w.walkStmts(s.Body.List, st.clone())
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				w.walkStmt(sw.Init, st)
+			}
+			if sw.Tag != nil {
+				w.visitExpr(sw.Tag, st)
+			}
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		for _, c := range clauses {
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				w.walkStmts(cc.Body, st.clone())
+			case *ast.CommClause:
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, st.clone())
+				}
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+		return false
+	case *ast.GoStmt:
+		// The spawned body runs concurrently: its acquisitions are not
+		// "while holding" ours.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkFreshLit(lit)
+		} else {
+			w.visitExpr(s.Call, st)
+		}
+		return false
+	case nil:
+		return false
+	default:
+		w.visitNode(stmt, st)
+		return false
+	}
+}
+
+func (w *lockWalker) applyLock(id lockID, op lockOp, pos token.Pos, st *lockState) {
+	switch op {
+	case opAcquire:
+		_, retaken := st.released[id]
+		if w.hooks.onAcquire != nil {
+			w.hooks.onAcquire(id, pos, st, retaken)
+		}
+		st.acquire(id, pos)
+	case opRelease:
+		st.release(id, pos)
+	}
+}
+
+// visitExpr inspects an expression subtree, firing onNode/onCall and
+// diverting function literals to fresh walks.
+func (w *lockWalker) visitExpr(expr ast.Expr, st *lockState) {
+	w.visitNode(expr, st)
+}
+
+func (w *lockWalker) visitNode(root ast.Node, st *lockState) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.walkFreshLit(lit)
+			return false
+		}
+		if w.hooks.onNode != nil {
+			w.hooks.onNode(n, st)
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, op := classifyLock(w.info, call); op != opNone {
+				// A lock call in expression position (if mu.TryLock()
+				// { ... }): apply its effect in place.
+				w.applyLock(id, op, call.Pos(), st)
+				return false
+			}
+			if w.hooks.onCall != nil {
+				w.hooks.onCall(call, st)
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) walkFreshLit(lit *ast.FuncLit) {
+	w.walkStmts(lit.Body.List, newLockState())
+}
+
+// mergeInto replaces st with the conservative merge of the surviving
+// branch states: a lock is held only if every survivor holds it;
+// releases union.
+func mergeInto(st *lockState, surviving []*lockState) {
+	first := surviving[0]
+	var held []heldLock
+	for _, h := range first.held {
+		all := true
+		for _, other := range surviving[1:] {
+			if !other.holds(h.id) {
+				all = false
+				break
+			}
+		}
+		if all {
+			held = append(held, h)
+		}
+	}
+	st.held = held
+	merged := map[lockID]token.Pos{}
+	for _, s := range surviving {
+		for k, v := range s.released {
+			merged[k] = v
+		}
+	}
+	st.released = merged
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// pragmaPrefix introduces a suppression comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// A pragma suppresses findings from exactly one analyzer on its own
+// line or the line directly below it (so it can ride as a trailing
+// comment or sit above the flagged statement). The reason is mandatory:
+// an allowance without a written justification is itself a finding.
+const pragmaPrefix = "lint:allow"
+
+// pragmaAnalyzer attributes the pragma driver's own findings.
+const pragmaAnalyzer = "pragma"
+
+// Pragma is one parsed //lint:allow comment.
+type Pragma struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Pragmas extracts every //lint:allow pragma from the package's
+// comments.
+func Pragmas(pkg *Package) []Pragma {
+	var out []Pragma
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, pragmaPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, pragmaPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, Pragma{
+					Pos:      pkg.Fset.Position(c.Pos()),
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ApplyPragmas filters diags through the package's //lint:allow
+// pragmas. A pragma suppresses findings of its named analyzer in the
+// same file on the pragma's line or the line immediately after. Stale
+// pragmas — naming an analyzer the suite does not run, missing a
+// reason, or suppressing nothing — are appended as findings of the
+// "pragma" pseudo-analyzer, so dead allowances are flushed out as
+// mechanically as the violations they once excused.
+func ApplyPragmas(pkg *Package, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	pragmas := Pragmas(pkg)
+	if len(pragmas) == 0 {
+		return diags
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	used := make([]bool, len(pragmas))
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for i, p := range pragmas {
+			if p.Analyzer != d.Analyzer || p.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == p.Pos.Line || d.Pos.Line == p.Pos.Line+1 {
+				suppressed = true
+				used[i] = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for i, p := range pragmas {
+		switch {
+		case !known[p.Analyzer]:
+			kept = append(kept, Diagnostic{
+				Pos:      p.Pos,
+				Analyzer: pragmaAnalyzer,
+				Message:  "stale pragma: no analyzer named \"" + p.Analyzer + "\"",
+			})
+		case p.Reason == "":
+			kept = append(kept, Diagnostic{
+				Pos:      p.Pos,
+				Analyzer: pragmaAnalyzer,
+				Message:  "pragma for " + p.Analyzer + " has no justification",
+			})
+		case !used[i]:
+			kept = append(kept, Diagnostic{
+				Pos:      p.Pos,
+				Analyzer: pragmaAnalyzer,
+				Message:  "stale pragma: suppresses no " + p.Analyzer + " finding",
+			})
+		}
+	}
+	return kept
+}

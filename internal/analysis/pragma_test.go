@@ -1,0 +1,92 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"mocca/internal/analysis"
+)
+
+// TestPragmaDriver runs the goroutines analyzer over the pragma fixture
+// and checks the //lint:allow contract end to end: covered findings are
+// suppressed, uncovered findings survive, and stale pragmas (unknown
+// analyzer, missing reason, suppressing nothing) become findings.
+func TestPragmaDriver(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/pragma")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	analyzers := []*analysis.Analyzer{analysis.Goroutines}
+	diags := analysis.RunPackage(pkg, analyzers)
+	if len(diags) != 3 {
+		t.Fatalf("before pragmas: got %d findings, want 3 (one per go statement):\n%s", len(diags), format(diags))
+	}
+
+	filtered := analysis.ApplyPragmas(pkg, diags, analyzers)
+
+	var goroutines, pragma []analysis.Diagnostic
+	for _, d := range filtered {
+		switch d.Analyzer {
+		case "goroutines":
+			goroutines = append(goroutines, d)
+		case "pragma":
+			pragma = append(pragma, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+
+	// Exactly the uncovered go statement survives: the pragmas above and
+	// trailing each suppressed their one finding, nothing more.
+	if len(goroutines) != 1 {
+		t.Errorf("after pragmas: got %d goroutines findings, want 1:\n%s", len(goroutines), format(goroutines))
+	}
+
+	wantStale := []string{
+		`no analyzer named "nosuchanalyzer"`,
+		"pragma for goroutines has no justification",
+		"suppresses no goroutines finding",
+	}
+	if len(pragma) != len(wantStale) {
+		t.Fatalf("got %d pragma findings, want %d:\n%s", len(pragma), len(wantStale), format(pragma))
+	}
+	for _, want := range wantStale {
+		found := false
+		for _, d := range pragma {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no pragma finding containing %q:\n%s", want, format(pragma))
+		}
+	}
+}
+
+// TestPragmas checks the parser in isolation.
+func TestPragmas(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/pragma")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pragmas := analysis.Pragmas(pkg)
+	if len(pragmas) != 5 {
+		t.Fatalf("got %d pragmas, want 5: %+v", len(pragmas), pragmas)
+	}
+	byAnalyzer := map[string]int{}
+	for _, p := range pragmas {
+		byAnalyzer[p.Analyzer]++
+	}
+	if byAnalyzer["goroutines"] != 4 || byAnalyzer["nosuchanalyzer"] != 1 {
+		t.Errorf("unexpected pragma analyzers: %v", byAnalyzer)
+	}
+}
+
+func format(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

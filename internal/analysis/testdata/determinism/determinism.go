@@ -1,0 +1,34 @@
+// Package determfix exercises the determinism analyzer: wall-clock and
+// global-rand uses are flagged, seeded sources stay quiet.
+package determfix
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads and scheduling are forbidden in library packages.
+func wallClock() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return time.Since(start)     // want "time.Since reads the wall clock"
+}
+
+// Even taking the function's value counts as a use.
+var clock = time.Now // want "time.Now reads the wall clock"
+
+func globalRand() int {
+	return rand.Intn(6) // want "global rand.Intn draws from the process-wide source"
+}
+
+func cryptoRand(b []byte) int {
+	n, _ := crand.Read(b) // want "crypto/rand is nondeterministic by design"
+	return n
+}
+
+// Seeded sources are the sanctioned doorway into math/rand.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

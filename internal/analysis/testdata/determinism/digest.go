@@ -1,0 +1,70 @@
+package determfix
+
+import "sort"
+
+// Fingerprint matches the digest-root pattern; feeding raw map order
+// into its output bytes is flagged.
+func Fingerprint(counts map[string]int) []byte {
+	var out []byte
+	for k, v := range counts { // want "map iteration on digest path"
+		out = append(out, encodeEntry(k, v)...)
+	}
+	return out
+}
+
+// DigestTree's helper inherits the digest constraint through the call
+// graph: the range is flagged inside collect, not just at the root.
+func DigestTree(m map[string]int) []byte { return collect(m) }
+
+func collect(m map[string]int) []byte {
+	var out []byte
+	for k := range m { // want "map iteration on digest path"
+		out = append(out, sealKey(k)...)
+	}
+	return out
+}
+
+// MarshalSorted is the sanctioned idiom: collect keys through builtins
+// only, sort, then iterate the slice.
+func MarshalSorted(counts map[string]int) []byte {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, encodeEntry(k, counts[k])...)
+	}
+	return out
+}
+
+// HashInputs writes through keys: each iteration lands in its own slot
+// regardless of visit order, so the range stays quiet.
+func HashInputs(src map[string]int) map[string]int {
+	out := make(map[string]int, len(src))
+	for k, v := range src {
+		out[k] = scale(v)
+	}
+	return out
+}
+
+// report is neither a digest root nor reachable from one; its map
+// iteration is unconstrained.
+func report(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += weight(v)
+	}
+	return total
+}
+
+func encodeEntry(k string, v int) []byte {
+	return append([]byte(k), byte(v))
+}
+
+func sealKey(k string) []byte { return []byte(k) }
+
+func scale(v int) int { return v * 2 }
+
+func weight(v int) int { return v + 1 }

@@ -1,0 +1,39 @@
+// Package logstore (fixture) exercises the errdrop analyzer: on the
+// WAL/segment/wire durability paths, every discarded error is flagged —
+// bare statements, blank assignments, and deferred calls alike. Hash
+// writes and properly handled errors stay quiet.
+package logstore
+
+import (
+	"crypto/sha256"
+	"os"
+)
+
+func appendRecord(f *os.File, p []byte) {
+	f.Write(p) // want "error result of f.Write discarded"
+}
+
+func dropViaBlank(f *os.File, p []byte) int {
+	n, _ := f.Write(p) // want "error result of f.Write assigned to _"
+	return n
+}
+
+func closeLater(f *os.File) {
+	defer f.Close() // want "deferred call f.Close discards its error"
+}
+
+// checksum writes into a hash; hash.Hash.Write is documented to never
+// return an error, so it is exempt.
+func checksum(p []byte) []byte {
+	h := sha256.New()
+	h.Write(p)
+	return h.Sum(nil)
+}
+
+// appendChecked handles every error: nothing to flag.
+func appendChecked(f *os.File, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return f.Sync()
+}

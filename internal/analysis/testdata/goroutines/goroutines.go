@@ -1,0 +1,23 @@
+// Package replica (fixture) exercises the goroutines analyzer: the
+// simulated-clock packages must leave all scheduling to the deployment
+// driver, so any go statement is a finding.
+package replica
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want "goroutine spawned in simulated-clock package"
+	}
+}
+
+func background(done chan struct{}) {
+	go func() { // want "goroutine spawned in simulated-clock package"
+		close(done)
+	}()
+}
+
+// Sequential execution is the required shape.
+func runAll(work []func()) {
+	for _, w := range work {
+		w()
+	}
+}

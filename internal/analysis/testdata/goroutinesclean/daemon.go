@@ -1,0 +1,10 @@
+// Package daemon (fixture) is outside the simulated-clock set: packages
+// that own real concurrency may spawn goroutines freely, so nothing
+// here is flagged.
+package daemon
+
+func serve(conns []func()) {
+	for _, c := range conns {
+		go c()
+	}
+}

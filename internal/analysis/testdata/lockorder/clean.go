@@ -1,0 +1,33 @@
+package lockfix
+
+import "sync"
+
+// Cache holds a coarse table lock and a fine entry lock, always table
+// before entry. Dropping and retaking the *inner* entry lock under the
+// table lock is the safe direction — no path acquires tableMu while
+// holding entryMu, so there is no inverted edge and no finding.
+type Cache struct {
+	tableMu sync.Mutex
+	entryMu sync.Mutex
+	n       int
+}
+
+func (c *Cache) Get() int {
+	c.tableMu.Lock()
+	defer c.tableMu.Unlock()
+	c.entryMu.Lock()
+	n := c.n
+	c.entryMu.Unlock()
+	c.entryMu.Lock() // retake of the inner lock: safe, stays quiet
+	n += c.n
+	c.entryMu.Unlock()
+	return n
+}
+
+func (c *Cache) Put(n int) {
+	c.tableMu.Lock()
+	c.entryMu.Lock()
+	c.n = n
+	c.entryMu.Unlock()
+	c.tableMu.Unlock()
+}

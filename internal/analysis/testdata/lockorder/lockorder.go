@@ -1,0 +1,50 @@
+// Package lockfix exercises the lockorder analyzer with the PR 6
+// Compact-vs-Exec deadlock shape: a writer acquires the store lock then
+// the group-commit lock (the documented order), while compaction holds
+// both and calls a helper that drops and retakes the outer store lock —
+// inverting the order against a writer blocked on the group lock.
+package lockfix
+
+import "sync"
+
+type group struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// Store mirrors the logstore shape: an outer store lock and an inner
+// group-commit lock, documented order mu before g.mu.
+type Store struct {
+	mu   sync.Mutex
+	g    group
+	rows int
+}
+
+// Exec is the writer path: mu before g.mu, the documented order.
+func (s *Store) Exec(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows++
+	s.g.mu.Lock()
+	s.g.buf = append(s.g.buf, p...)
+	s.g.mu.Unlock()
+}
+
+// Compact holds both locks and calls a helper that drops and retakes
+// the store lock — while a writer in Exec holds mu and waits on g.mu,
+// Compact holds g.mu and waits on mu.
+func (s *Store) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	s.mergeAllLocked() // want "PR 6 deadlock shape" "mutex acquisition cycle"
+}
+
+// mergeAllLocked is called with mu held and drops it to merge outside
+// the lock, retaking it before returning.
+func (s *Store) mergeAllLocked() {
+	s.mu.Unlock()
+	s.rows = 0 // merge work outside the store lock
+	s.mu.Lock()
+}

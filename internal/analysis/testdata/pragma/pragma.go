@@ -1,0 +1,29 @@
+// Package replica (fixture) exercises the //lint:allow pragma driver:
+// a pragma on the flagged line or the line above suppresses exactly the
+// findings it covers, and stale pragmas become findings themselves.
+package replica
+
+// suppressedAbove carries the pragma on the line above the finding.
+func suppressedAbove(f func()) {
+	//lint:allow goroutines fixture: sanctioned background helper
+	go f()
+}
+
+// suppressedTrailing carries the pragma on the flagged line itself.
+func suppressedTrailing(f func()) {
+	go f() //lint:allow goroutines fixture: trailing allowance
+}
+
+// unsuppressed has no pragma; its finding must survive.
+func unsuppressed(f func()) {
+	go f()
+}
+
+//lint:allow nosuchanalyzer the analyzer name is bogus
+func staleUnknown() {}
+
+//lint:allow goroutines
+func staleNoReason() {}
+
+//lint:allow goroutines this allowance covers no finding at all
+func staleUnused() {}

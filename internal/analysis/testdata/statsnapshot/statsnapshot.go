@@ -1,0 +1,70 @@
+// Package statfix exercises the statsnapshot analyzer: on types that
+// have opted into concurrency, exported Stats/Snapshot methods must
+// read counters under one lock or through atomics.
+package statfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counters is plain data: copying it unlocked is the classic torn read.
+type Counters struct {
+	Ops   int64
+	Fails int64
+}
+
+type Server struct {
+	mu    sync.Mutex
+	stats Counters
+}
+
+// Stats reads the counter struct with no lock held.
+func (s *Server) Stats() Counters {
+	return s.stats // want "read outside any lock"
+}
+
+// LockedStats is the correct shape: one critical section.
+func (s *Server) LockedStats() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// SplitStats tears the snapshot across two critical sections of mu.
+func (s *Server) SplitStats() Counters { // want "2 separate critical sections"
+	var out Counters
+	s.mu.Lock()
+	out.Ops = s.stats.Ops
+	s.mu.Unlock()
+	s.mu.Lock()
+	out.Fails = s.stats.Fails
+	s.mu.Unlock()
+	return out
+}
+
+// AtomicServer keeps its counter in an atomic; loads are always safe.
+type AtomicServer struct {
+	ops atomic.Int64
+}
+
+func (a *AtomicServer) Stats() int64 {
+	return a.ops.Load()
+}
+
+// PackedServer mixes a mutex with an atomically-read field: reading
+// through sync/atomic needs no lock.
+type PackedServer struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (p *PackedServer) Snapshot() int64 {
+	return atomic.LoadInt64(&p.n)
+}
+
+// Plain has neither mutexes nor atomics: single-goroutine by design in
+// this codebase, so its snapshot method is skipped.
+type Plain struct{ n int }
+
+func (p *Plain) Stats() int { return p.n }

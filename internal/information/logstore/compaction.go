@@ -123,6 +123,7 @@ func (s *Store) flushLocked() error {
 		s.snapSeq, s.liveCovered = prevSnapSeq, prevLive
 		if newSeg != nil {
 			newSeg.closeFile()
+			//lint:allow errdrop best-effort cleanup of an orphan segment; the manifest never referenced it, so a leftover file is garbage, not data loss
 			os.Remove(newSeg.path)
 		}
 		return fmt.Errorf("logstore: flush: %w", err)
@@ -445,6 +446,7 @@ func (s *Store) mergeSegments(inputs []*segment, outID uint64, outLevel int, dro
 	if s.closed {
 		s.mu.Unlock()
 		out.closeFile()
+		//lint:allow errdrop best-effort cleanup of an uninstalled merge output; it was never in the manifest, so a leftover file is garbage, not data loss
 		os.Remove(out.path)
 		return nil
 	}
@@ -465,6 +467,7 @@ func (s *Store) mergeSegments(inputs []*segment, outID uint64, outLevel int, dro
 	if err := s.writeManifestLocked(newSegs); err != nil {
 		s.mu.Unlock()
 		out.closeFile()
+		//lint:allow errdrop best-effort cleanup of an uninstalled merge output; the manifest write already failed and carries the real error
 		os.Remove(out.path)
 		return err
 	}
@@ -474,6 +477,7 @@ func (s *Store) mergeSegments(inputs []*segment, outID uint64, outLevel int, dro
 	s.mu.Unlock()
 	if out.count == 0 {
 		out.closeFile()
+		//lint:allow errdrop best-effort cleanup of an empty merge output that was never installed; a leftover file is garbage, not data loss
 		os.Remove(out.path)
 	}
 	for _, g := range inputs {
@@ -537,6 +541,7 @@ func (s *Store) lookup(id string) (obj *information.Object, live, fromMem bool, 
 // building on a row it cannot see, and replay's idempotence makes the
 // miscount self-correcting on the next recovery.
 func (s *Store) hasAny(id string) bool {
+	//lint:allow errdrop a failed probe reads as absent by design (see doc comment); the error is already counted in Stats.ReadFailures by lookup
 	_, live, _, _ := s.lookup(id)
 	return live
 }

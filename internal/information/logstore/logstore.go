@@ -107,6 +107,15 @@ type Stats struct {
 	// failures become visible.
 	SegmentReadFailures int64
 
+	// IterationFailures counts merged-view scans (Range, Snapshot,
+	// Digest, NewerThan) cut short by a segment I/O or decode error.
+	// Those Backend signatures have no error slot either — the caller
+	// sees a truncated view, so the failure must at least be visible
+	// here (a silently partial digest would ship an incomplete
+	// anti-entropy summary and a partial Range would rebuild a wrong
+	// Merkle tree without anyone knowing).
+	IterationFailures int64
+
 	RecoveredObjects   int   // rows live after Open (manifest + replay)
 	RecoveredRelations int   // edges loaded by Open
 	ReplayedRecords    int   // WAL records applied by Open
@@ -224,6 +233,7 @@ type Store struct {
 	bloomFalse    atomic.Int64
 	rangeFiltered atomic.Int64
 	readFailures  atomic.Int64
+	iterFailures  atomic.Int64
 
 	// Background compactor plumbing. Lock order: mergeMu before s.mu.
 	mergeMu   sync.Mutex // serialises level merges (background vs Compact)
@@ -383,6 +393,7 @@ func (s *Store) Stats() Stats {
 	out.BloomFalsePositives = s.bloomFalse.Load()
 	out.KeyRangeFiltered = s.rangeFiltered.Load()
 	out.SegmentReadFailures = s.readFailures.Load()
+	out.IterationFailures = s.iterFailures.Load()
 	return out
 }
 
@@ -874,10 +885,12 @@ func (s *Store) flushLeaderLocked() {
 			// Roll the torn batch back out so recovery sees a clean log; if
 			// even that fails the bytes stay, but g.err below disables
 			// mutations either way.
+			//lint:allow errdrop rollback of a torn batch is best-effort; a failed truncate leaves bytes the CRC scan rejects, and g.err disables mutations regardless
 			_ = os.Truncate(filepath.Join(s.dir, walName), durSize)
 			err = fmt.Errorf("logstore: group append: %w (%v)", ErrReadOnly, werr)
 		} else if s.fsync {
 			if serr := s.wal.Sync(); serr != nil {
+				//lint:allow errdrop rollback of an unsynced batch is best-effort; a failed truncate leaves bytes the CRC scan rejects, and g.err disables mutations regardless
 				_ = os.Truncate(filepath.Join(s.dir, walName), durSize)
 				err = fmt.Errorf("logstore: group fsync: %w (%v)", ErrReadOnly, serr)
 			} else {
@@ -1008,10 +1021,19 @@ func (s *Store) Get(id string) (*information.Object, bool) {
 	return obj, true
 }
 
+// noteIterFailure records a merged-view scan cut short by a segment
+// error; the Backend read signatures have no error slot, so the counter
+// (Stats.IterationFailures) is where the truncation becomes visible.
+func (s *Store) noteIterFailure(err error) {
+	if err != nil {
+		s.iterFailures.Add(1)
+	}
+}
+
 // Snapshot returns copies of every row matching pred (nil pred = all).
 func (s *Store) Snapshot(pred func(*information.Object) bool) []*information.Object {
 	var out []*information.Object
-	s.iterate(func(obj *information.Object, fromMem bool) bool {
+	s.noteIterFailure(s.iterate(func(obj *information.Object, fromMem bool) bool {
 		if pred == nil || pred(obj) {
 			if fromMem {
 				obj = obj.Clone()
@@ -1019,7 +1041,7 @@ func (s *Store) Snapshot(pred func(*information.Object) bool) []*information.Obj
 			out = append(out, obj)
 		}
 		return true
-	})
+	}))
 	return out
 }
 
@@ -1029,16 +1051,16 @@ func (s *Store) Snapshot(pred func(*information.Object) bool) []*information.Obj
 // Merkle digest tree from: segment rows stream through a fixed-size
 // buffer, so the rebuild never materialises the store in memory.
 func (s *Store) Range(fn func(*information.Object) bool) {
-	s.iterate(func(obj *information.Object, _ bool) bool { return fn(obj) })
+	s.noteIterFailure(s.iterate(func(obj *information.Object, _ bool) bool { return fn(obj) }))
 }
 
 // Digest summarises every row's version vector for anti-entropy exchange.
 func (s *Store) Digest() map[string]vclock.Version {
 	out := make(map[string]vclock.Version, s.Len())
-	s.iterate(func(obj *information.Object, _ bool) bool {
+	s.noteIterFailure(s.iterate(func(obj *information.Object, _ bool) bool {
 		out[obj.ID] = obj.VV.Clone()
 		return true
-	})
+	}))
 	return out
 }
 
@@ -1046,7 +1068,7 @@ func (s *Store) Digest() map[string]vclock.Version {
 // already sorted by id, which the merged iteration yields for free.
 func (s *Store) NewerThan(digest map[string]vclock.Version) []*information.Object {
 	var out []*information.Object
-	s.iterate(func(obj *information.Object, fromMem bool) bool {
+	s.noteIterFailure(s.iterate(func(obj *information.Object, fromMem bool) bool {
 		if seen, ok := digest[obj.ID]; !ok || !seen.Dominates(obj.VV) {
 			if fromMem {
 				obj = obj.Clone()
@@ -1054,7 +1076,7 @@ func (s *Store) NewerThan(digest map[string]vclock.Version) []*information.Objec
 			out = append(out, obj)
 		}
 		return true
-	})
+	}))
 	return out
 }
 

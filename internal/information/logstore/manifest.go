@@ -163,6 +163,7 @@ func (s *Store) writeManifestLocked(segs []*segment) error {
 		werr = f.Sync()
 	}
 	if werr != nil {
+		//lint:allow errdrop the write already failed and werr carries the real error; close is cleanup of a temp file that rename never published
 		f.Close()
 		return werr
 	}

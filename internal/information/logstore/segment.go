@@ -83,7 +83,9 @@ func (g *segment) release() {
 	reap := g.dropped && g.refs == 0
 	g.refMu.Unlock()
 	if reap {
+		//lint:allow errdrop reaping a read-only fd of a segment the manifest no longer references; nothing durable depends on the close
 		g.f.Close()
+		//lint:allow errdrop best-effort unlink of a superseded segment; a leftover file is garbage the next Open ignores
 		os.Remove(g.path)
 	}
 }
@@ -95,12 +97,16 @@ func (g *segment) drop() {
 	reap := g.refs == 0
 	g.refMu.Unlock()
 	if reap {
+		//lint:allow errdrop reaping a read-only fd of a segment the manifest no longer references; nothing durable depends on the close
 		g.f.Close()
+		//lint:allow errdrop best-effort unlink of a superseded segment; a leftover file is garbage the next Open ignores
 		os.Remove(g.path)
 	}
 }
 
 // closeFile closes the fd without unlinking — store shutdown.
+//
+//lint:allow errdrop the fd is read-only after finish; there are no buffered writes a failed close could lose
 func (g *segment) closeFile() { g.f.Close() }
 
 // segWriter streams sorted entries into a new segment file: data records
@@ -174,7 +180,9 @@ func (w *segWriter) add(e flushEntry) error {
 
 // abort discards the partial file.
 func (w *segWriter) abort() {
+	//lint:allow errdrop abort is already the failure path; the partial file was never referenced by a manifest
 	w.f.Close()
+	//lint:allow errdrop best-effort unlink of an aborted partial segment; a leftover file is garbage the next Open ignores
 	os.Remove(w.seg.path)
 }
 
@@ -237,6 +245,7 @@ func (w *segWriter) finish() (*segment, error) {
 		return nil, err
 	}
 	if err := w.f.Close(); err != nil {
+		//lint:allow errdrop best-effort unlink after a failed close that is already being returned; the segment was never installed
 		os.Remove(seg.path)
 		return nil, err
 	}
@@ -256,6 +265,7 @@ func openSegment(path string, id uint64, level int) (*segment, error) {
 		return nil, err
 	}
 	fail := func(err error) (*segment, error) {
+		//lint:allow errdrop cleanup of a read-only fd on the open-failure path; the wrapped err carries the real failure
 		f.Close()
 		return nil, fmt.Errorf("segment %s: %w", path, err)
 	}

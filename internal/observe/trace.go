@@ -84,6 +84,7 @@ func NewTracer(seed int64, capacity int, now func() time.Time) *Tracer {
 		capacity = defaultSpanCapacity
 	}
 	if now == nil {
+		//lint:allow determinism explicit wall-clock fallback for callers outside a simulated deployment; simulated runs always pass the deployment clock
 		now = time.Now
 	}
 	t := &Tracer{

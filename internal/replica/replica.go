@@ -923,6 +923,7 @@ func vvBytes(vv vclock.Version) int {
 
 func digestMapBytes(d map[string]vclock.Version) int {
 	n := 8
+	//lint:allow determinism commutative byte-sum; the total is identical under any iteration order
 	for id, vv := range d {
 		n += len(id) + 4 + vvBytes(vv)
 	}

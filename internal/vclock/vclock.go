@@ -48,11 +48,17 @@ func Real() Clock { return realClock{} }
 
 type realClock struct{}
 
-func (realClock) Now() time.Time                         { return time.Now() }
+//lint:allow determinism realClock is the designated wall-clock implementation every other package must route through
+func (realClock) Now() time.Time { return time.Now() }
+
+//lint:allow determinism realClock is the designated wall-clock implementation every other package must route through
 func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
-func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+//lint:allow determinism realClock is the designated wall-clock implementation every other package must route through
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
 
 func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	//lint:allow determinism realClock is the designated wall-clock implementation every other package must route through
 	return realTimer{t: time.AfterFunc(d, f)}
 }
 

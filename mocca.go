@@ -1070,6 +1070,7 @@ const driveTimeout = 10 * time.Second
 func (d *Deployment) drive(op func() error) error {
 	done := make(chan error, 1)
 	go func() { done <- op() }()
+	//lint:allow determinism wall-clock watchdog bounding a stuck simulated run; it only decides when to give up, never what the run computes
 	start := time.Now()
 	for {
 		select {
@@ -1085,9 +1086,11 @@ func (d *Deployment) drive(op func() error) error {
 			select {
 			case err := <-done:
 				return err
+			//lint:allow determinism wall-clock yield while the simulated clock is idle; it paces the host loop, never the simulated run
 			case <-time.After(50 * time.Microsecond):
 			}
 		}
+		//lint:allow determinism wall-clock watchdog bounding a stuck simulated run; it only decides when to give up, never what the run computes
 		if time.Since(start) > driveTimeout {
 			return fmt.Errorf("mocca: operation did not complete within %v (%d simulated events still pending)",
 				driveTimeout, d.clock.Pending())
